@@ -1,0 +1,274 @@
+package hanayo
+
+// The benchmark harness: one benchmark per paper table/figure (run with
+// `go test -bench=. -benchmem`), each reporting the experiment's headline
+// metric via b.ReportMetric, plus ablation benches for the design choices
+// DESIGN.md calls out (prefetching, batched cross-communication, priority
+// rules). `go run ./cmd/hanayo-bench` prints the full tables.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// runExperiment executes a registered experiment, discarding output.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01TheoreticalBubbleRatios(b *testing.B) {
+	runExperiment(b, "fig01")
+	b.ReportMetric(100*perfmodel.HanayoBubble(perfmodel.FigureOneDefaults(8, 2)), "hanayo-w2-bubble-%")
+	b.ReportMetric(100*perfmodel.GPipeBubble(perfmodel.FigureOneDefaults(8, 1)), "gpipe-bubble-%")
+}
+
+func BenchmarkFig02ComparisonTable(b *testing.B)   { runExperiment(b, "fig02") }
+func BenchmarkFig03ScheduleTimelines(b *testing.B) { runExperiment(b, "fig03") }
+func BenchmarkFig04SyncVsAsync(b *testing.B)       { runExperiment(b, "fig04") }
+func BenchmarkFig05ChimeraTransform(b *testing.B)  { runExperiment(b, "fig05") }
+func BenchmarkFig06WaveScaling(b *testing.B)       { runExperiment(b, "fig06") }
+func BenchmarkFig07BubbleZones(b *testing.B)       { runExperiment(b, "fig07") }
+func BenchmarkFig08MemoryDistribution(b *testing.B) {
+	runExperiment(b, "fig08")
+}
+
+func BenchmarkFig09ClusterThroughput(b *testing.B) {
+	runExperiment(b, "fig09")
+	// Headline: Hanayo's best-wave gain over Chimera-wave on FC at P=8.
+	cl := cluster.FullNVLink(8)
+	base := core.Plan{Scheme: "chimera-wave", Cluster: cl, Model: nn.BERTStyle(),
+		P: 8, D: 1, B: 8, MicroRows: 2}
+	cw, err := base.Throughput()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := base
+	h.Scheme = "hanayo-w4"
+	hw, err := h.Throughput()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric((hw/cw-1)*100, "hanayo-vs-chimera-%")
+}
+
+func BenchmarkFig10ConfigSearch(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11WeakScaling(b *testing.B)   { runExperiment(b, "fig11") }
+func BenchmarkFig12StrongScaling(b *testing.B) { runExperiment(b, "fig12") }
+
+// --------------------------------------------------------------- engines --
+
+// BenchmarkScheduleGeneration measures the unified framework's cost to
+// produce and validate a large wave schedule (32 devices, 4 waves).
+func BenchmarkScheduleGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := sched.Hanayo(32, 4, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Validate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the discrete-event executor on a 32-device
+// wave schedule.
+func BenchmarkSimulator(b *testing.B) {
+	s, err := sched.Hanayo(32, 2, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := float64(s.S) / float64(s.P)
+	cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(s, cost, sim.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeIteration measures one real training iteration of the
+// goroutine pipeline runtime (tiny model, 4 devices, 2 waves).
+func BenchmarkRuntimeIteration(b *testing.B) {
+	cfg := nn.Tiny(14, 16, 2, 32, 8, true)
+	s, err := sched.Hanayo(4, 2, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := runtime.New(runtime.Config{Schedule: s, Model: cfg, DP: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.NewGenerator(1, cfg.Vocab, cfg.SeqLen)
+	batch := gen.Next(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------------- ablations --
+
+// BenchmarkAblationPrefetch compares makespans with receive prefetching on
+// and off (paper §4.2): the reported metric is the slowdown without it.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	s, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := float64(s.S) / float64(s.P)
+	cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: 0.1}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Run(s, cost, sim.Options{Prefetch: true, BatchComm: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(s, cost, sim.Options{Prefetch: false, BatchComm: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = r1.Makespan, r2.Makespan
+	}
+	b.ReportMetric((without/with-1)*100, "no-prefetch-slowdown-%")
+}
+
+// BenchmarkAblationBatchComm compares batched vs strictly ordered
+// communication; unbatched bidirectional exchanges may deadlock, which the
+// bench reports as a metric.
+func BenchmarkAblationBatchComm(b *testing.B) {
+	s, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := float64(s.S) / float64(s.P)
+	cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: 0.1}
+	deadlocks := 0.0
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		batched, err := sim.Run(s, cost, sim.Options{Prefetch: true, BatchComm: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, err := sim.Run(s, cost, sim.Options{Prefetch: false, BatchComm: false})
+		if err != nil {
+			deadlocks = 1
+			continue
+		}
+		slowdown = (seq.Makespan/batched.Makespan - 1) * 100
+	}
+	b.ReportMetric(deadlocks, "deadlocked")
+	b.ReportMetric(slowdown, "unbatched-slowdown-%")
+}
+
+// BenchmarkAblationPriority compares backward-first against forward-first
+// scheduling on the same wave placement. The eager-backward rule's payoff
+// is chiefly memory (activations released as soon as possible), so the
+// bench reports both the makespan delta and the peak-activation delta.
+func BenchmarkAblationPriority(b *testing.B) {
+	var backFirst, fwdFirst float64
+	var backPeak, fwdPeak int
+	for i := 0; i < b.N; i++ {
+		s1, err := sched.Hanayo(8, 2, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := sched.Hanayo(8, 2, 8, func(gp *sched.GenParams) {
+			gp.Priority = sched.ForwardFirst
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		per := float64(s1.S) / float64(s1.P)
+		cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per}
+		r1, err := sim.Run(s1, cost, sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(s2, cost, sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		backFirst, fwdFirst = r1.Makespan, r2.Makespan
+		backPeak, fwdPeak = 0, 0
+		for d := range r1.PeakActs {
+			backPeak = max(backPeak, r1.PeakActs[d])
+			fwdPeak = max(fwdPeak, r2.PeakActs[d])
+		}
+	}
+	b.ReportMetric((fwdFirst/backFirst-1)*100, "fwd-first-time-delta-%")
+	b.ReportMetric(float64(fwdPeak-backPeak), "fwd-first-extra-peak-acts")
+}
+
+// BenchmarkAblationWaveVsInterleaved compares Hanayo's wave placement to
+// Megatron's round-robin interleaving at equal chunk count (v = 2W): same
+// stage granularity and memory class, different topology of stage hops.
+func BenchmarkAblationWaveVsInterleaved(b *testing.B) {
+	var wave, inter float64
+	for i := 0; i < b.N; i++ {
+		sw, err := sched.Hanayo(8, 2, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		si, err := sched.Interleaved(8, 4, 8) // v = 2W = 4 chunks/device
+		if err != nil {
+			b.Fatal(err)
+		}
+		per := float64(sw.S) / float64(sw.P)
+		cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: 0.05}
+		rw, err := sim.Run(sw, cost, sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ri, err := sim.Run(si, cost, sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wave, inter = rw.Makespan, ri.Makespan
+	}
+	b.ReportMetric((inter/wave-1)*100, "interleaved-vs-wave-%")
+}
+
+// BenchmarkAblationWaves sweeps the wave count on a fixed cluster,
+// reporting throughput per wave setting (the paper's central knob).
+func BenchmarkAblationWaves(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			plan := core.Plan{
+				Scheme:  fmt.Sprintf("hanayo-w%d", w),
+				Cluster: cluster.FullNVLink(8),
+				Model:   nn.BERTStyle(),
+				P:       8, D: 1, B: 8, MicroRows: 2,
+			}
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				t, err := plan.Throughput()
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = t
+			}
+			b.ReportMetric(thr, "seq/s")
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Command hanayo-bench regenerates the paper's evaluation tables and
+// figures (Fig 1–12) as text output.
+//
+// Usage:
+//
+//	hanayo-bench             # run everything
+//	hanayo-bench -exp fig09  # run one experiment
+//	hanayo-bench -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (e.g. fig01); empty runs all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			e, _ := experiments.Get(n)
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	var err error
+	if *exp == "" {
+		err = experiments.RunAll(os.Stdout)
+	} else {
+		err = experiments.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanayo-bench:", err)
+		os.Exit(1)
+	}
+}

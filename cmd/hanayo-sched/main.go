@@ -1,0 +1,74 @@
+// Command hanayo-sched generates, validates, analyzes and exports pipeline
+// schedules as JSON — the interchange point for external tooling and for
+// hand-edited custom schedules (round-tripped files are re-validated on
+// load).
+//
+// Usage:
+//
+//	hanayo-sched -scheme hanayo-w2 -p 4 -b 4            # static analysis
+//	hanayo-sched -scheme chimera -p 8 -b 8 -json        # dump action lists
+//	hanayo-sched -load sched.json                       # validate a file
+//	hanayo-sched -scheme gpipe -p 4 -b 4 -lists         # human-readable ops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sched"
+)
+
+func main() {
+	scheme := flag.String("scheme", "hanayo-w2", "pipeline scheme")
+	p := flag.Int("p", 4, "pipeline devices")
+	b := flag.Int("b", 4, "micro-batches")
+	asJSON := flag.Bool("json", false, "emit the schedule as JSON")
+	lists := flag.Bool("lists", false, "print per-device action lists")
+	load := flag.String("load", "", "load and validate a schedule JSON file instead of generating")
+	flag.Parse()
+
+	var s *sched.Schedule
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		s, err = sched.ReadJSON(f)
+		if err == nil {
+			fmt.Printf("%s: valid (%d actions)\n", *load, s.NumActions())
+		}
+	} else {
+		s, err = sched.ByName(*scheme, *p, *b)
+		if err == nil {
+			err = sched.Validate(s)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *asJSON:
+		if err := sched.WriteJSON(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+	case *lists:
+		for d, list := range s.Lists {
+			fmt.Printf("P%d:", d)
+			for _, a := range list {
+				fmt.Printf("  %s", a)
+			}
+			fmt.Println()
+		}
+	default:
+		sched.Analyze(s).Print(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hanayo-sched:", err)
+	os.Exit(1)
+}

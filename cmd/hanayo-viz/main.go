@@ -1,0 +1,68 @@
+// Command hanayo-viz renders a pipeline schedule as an ASCII Gantt chart
+// (the paper's Fig 3/5/6 style), or exports it as CSV / Chrome trace JSON.
+//
+// Usage:
+//
+//	hanayo-viz -scheme hanayo-w2 -p 4 -b 4
+//	hanayo-viz -scheme chimera -p 8 -b 8 -format chrome > trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	scheme := flag.String("scheme", "hanayo-w2", "gpipe|dapple|chimera|chimera-wave|hanayo-w<N>|interleaved-v<N>")
+	p := flag.Int("p", 4, "pipeline devices")
+	b := flag.Int("b", 4, "micro-batches")
+	tc := flag.Float64("tc", 0.05, "per-hop communication cost relative to a device slice forward (=1)")
+	width := flag.Int("width", 100, "chart width in columns")
+	format := flag.String("format", "gantt", "gantt|csv|chrome|summary")
+	noPrefetch := flag.Bool("no-prefetch", false, "disable receive prefetching (ablation)")
+	flag.Parse()
+
+	s, err := sched.ByName(*scheme, *p, *b)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sched.Validate(s); err != nil {
+		fatal(err)
+	}
+	per := float64(s.S) / float64(s.P)
+	cost := costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: *tc}
+	opt := sim.DefaultOptions()
+	opt.Prefetch = !*noPrefetch
+	r, err := sim.Run(s, cost, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "gantt":
+		fmt.Println(trace.Legend())
+		trace.Gantt(os.Stdout, r, *width)
+	case "csv":
+		err = trace.CSV(os.Stdout, r)
+	case "chrome":
+		err = trace.Chrome(os.Stdout, r)
+	case "summary":
+		fmt.Println(trace.Summary(r))
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hanayo-viz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// AutoTune (the paper's §5.3 scenario): search (P, D, scheme, waves) on a
+// 32-GPU cluster for the configuration with the best simulated throughput
+// that fits memory, exactly like the paper's Fig 10 sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hanayo "repro"
+)
+
+func main() {
+	cl := hanayo.TACC(32)
+	model := hanayo.BERTStyle()
+	fmt.Printf("searching schemes × (P, D) × waves for %s on %d×%s\n\n",
+		model.Name, cl.N(), cl.Devices[0].Name)
+
+	cands := hanayo.AutoTune(cl, model, hanayo.SearchSpace{
+		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
+		Waves:     []int{1, 2, 4},
+		B:         16,
+		MicroRows: 2,
+	})
+	fmt.Printf("%-14s %4s %4s %10s %8s\n", "scheme", "P", "D", "seq/s", "peakGB")
+	for _, c := range cands {
+		thr := fmt.Sprintf("%.1f", c.Throughput)
+		if c.OOM {
+			thr = "OOM"
+		}
+		fmt.Printf("%-14s %4d %4d %10s %8.1f\n", c.Plan.Scheme, c.Plan.P, c.Plan.D, thr, c.PeakGB)
+	}
+
+	best, ok := hanayo.Best(cands)
+	if !ok {
+		log.Fatal("no feasible configuration")
+	}
+	fmt.Printf("\nwinner: %s with P=%d, D=%d at %.1f sequences/s\n",
+		best.Plan.Scheme, best.Plan.P, best.Plan.D, best.Throughput)
+}

@@ -1,0 +1,46 @@
+// Cluster adaptability (the paper's §5.2 scenario): sweep wave counts on
+// each of the four evaluation clusters and see how the optimal number of
+// waves shifts with interconnect quality — higher on NVLink boxes, lower on
+// the PCIe/InfiniBand TACC nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hanayo "repro"
+)
+
+func main() {
+	model := hanayo.BERTStyle()
+	fmt.Println("BERT-style, 8 devices per cluster, throughput in sequences/s")
+	fmt.Printf("%-6s %10s %10s %10s %10s %12s\n", "clus", "W=1", "W=2", "W=4", "W=8", "best")
+	for _, name := range []string{"pc", "fc", "tacc", "tc"} {
+		cl, err := hanayo.ClusterByName(name, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s", name)
+		bestW, bestThr := 0, 0.0
+		for _, w := range []int{1, 2, 4, 8} {
+			plan := hanayo.Plan{
+				Scheme:    fmt.Sprintf("hanayo-w%d", w),
+				Cluster:   cl,
+				Model:     model,
+				P:         8,
+				D:         1,
+				B:         8,
+				MicroRows: 2,
+			}
+			thr, err := plan.Throughput()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if thr > bestThr {
+				bestThr, bestW = thr, w
+			}
+			fmt.Printf(" %10.2f", thr)
+		}
+		fmt.Printf("   best W=%d (%.2f seq/s)\n", bestW, bestThr)
+	}
+}

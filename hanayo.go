@@ -1,0 +1,152 @@
+// Package hanayo is the public API of this reproduction of "Hanayo:
+// Harnessing Wave-like Pipeline Parallelism for Enhanced Large Model
+// Training Efficiency" (Liu, Cheng, Zhou, You — SC '23).
+//
+// The package re-exports the stable surface of the internal modules:
+//
+//   - schedules: the unified action-list framework and all synchronous
+//     schemes the paper studies (GPipe, DAPPLE/1F1B, Chimera, Chimera-wave,
+//     Hanayo with W waves, interleaved 1F1B);
+//   - executors: a discrete-event simulator (timing/bubbles/memory shape)
+//     and a goroutine runtime that trains real transformers under any
+//     generated schedule;
+//   - models: cluster presets matching the paper's four evaluation
+//     environments and the BERT/GPT-style model configurations;
+//   - the planner: core.Plan and core.AutoTune for the §5.3 search.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	plan := hanayo.Plan{
+//	    Scheme: "hanayo-w2", Cluster: hanayo.FullNVLink(8),
+//	    Model: hanayo.BERTStyle(), P: 8, D: 1, B: 8, MicroRows: 2,
+//	}
+//	thr, _ := plan.Throughput()        // simulated sequences/s
+//	eng, _ := plan.Engine(42, nil)     // real training runtime
+package hanayo
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/data"
+	"repro/internal/memmodel"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Planning and search (paper §3, §5.3).
+type (
+	// Plan is one fully specified pipeline-parallel configuration.
+	Plan = core.Plan
+	// Candidate is one point of the configuration search.
+	Candidate = core.Candidate
+	// SearchSpace bounds AutoTune.
+	SearchSpace = core.SearchSpace
+)
+
+// AutoTune sweeps plans over a cluster as in Fig 10.
+var AutoTune = core.AutoTune
+
+// Best picks the fastest feasible candidate.
+var Best = core.Best
+
+// Schedules (paper §3–§4.1).
+type (
+	// Schedule is a per-device action-list program.
+	Schedule = sched.Schedule
+	// Action is one action-list instruction.
+	Action = sched.Action
+	// Mapping assigns stages to devices and chunks.
+	Mapping = sched.Mapping
+)
+
+// Scheme generators.
+var (
+	GPipe             = sched.GPipe
+	DAPPLE            = sched.DAPPLE
+	Chimera           = sched.Chimera
+	ChimeraWave       = sched.ChimeraWave
+	HanayoWaves       = sched.Hanayo
+	Interleaved       = sched.Interleaved
+	GEMS              = sched.GEMS
+	ScheduleByName    = sched.ByName
+	ValidateSchedule  = sched.Validate
+	AnalyzeSchedule   = sched.Analyze
+	WriteScheduleJSON = sched.WriteJSON
+	ReadScheduleJSON  = sched.ReadJSON
+)
+
+// Executors.
+type (
+	// SimOptions tunes the discrete-event simulator.
+	SimOptions = sim.Options
+	// SimResult is one simulated iteration.
+	SimResult = sim.Result
+	// Engine is the real training runtime.
+	Engine = runtime.Engine
+	// EngineConfig assembles an Engine directly (Plan.Engine is simpler).
+	EngineConfig = runtime.Config
+)
+
+// Simulate runs a schedule against a cost oracle.
+var Simulate = sim.Run
+
+// DefaultSimOptions is the paper-faithful executor configuration.
+var DefaultSimOptions = sim.DefaultOptions
+
+// NewEngine builds a runtime engine from an explicit config.
+var NewEngine = runtime.New
+
+// Models and workloads.
+type (
+	// ModelConfig describes a transformer.
+	ModelConfig = nn.Config
+	// Cluster is a device + interconnect model.
+	Cluster = cluster.Cluster
+	// Batch is one training batch.
+	Batch = data.Batch
+	// Generator produces synthetic batches.
+	Generator = data.Generator
+	// Uniform is the synthetic tf/tb/tc cost oracle.
+	Uniform = costmodel.Uniform
+)
+
+// Model presets from the paper's §5.
+var (
+	BERTStyle = nn.BERTStyle
+	GPTStyle  = nn.GPTStyle
+	TinyModel = nn.Tiny
+)
+
+// Cluster presets from the paper's §5.
+var (
+	TACC          = cluster.TACC
+	Tencent       = cluster.Tencent
+	PartialNVLink = cluster.PartialNVLink
+	FullNVLink    = cluster.FullNVLink
+	ClusterByName = cluster.ByName
+)
+
+// NewGenerator builds a synthetic workload generator.
+var NewGenerator = data.NewGenerator
+
+// Analytic models (Fig 1/2, Fig 8).
+var (
+	HanayoBubble  = perfmodel.HanayoBubble
+	GPipeBubble   = perfmodel.GPipeBubble
+	DAPPLEBubble  = perfmodel.DAPPLEBubble
+	ChimeraBubble = perfmodel.ChimeraBubble
+	ModelSizeGB   = memmodel.ModelSizeGB
+)
+
+// Rendering helpers.
+var (
+	Gantt        = trace.Gantt
+	GanttLegend  = trace.Legend
+	ExportCSV    = trace.CSV
+	ExportChrome = trace.Chrome
+)

@@ -1,0 +1,96 @@
+package hanayo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func figParams(p int) perfmodel.Params     { return perfmodel.FigureOneDefaults(p, 1) }
+func figParamsW(p, w int) perfmodel.Params { return perfmodel.FigureOneDefaults(p, w) }
+
+// TestFacadeEndToEnd drives the whole public API surface the way the README
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	plan := Plan{
+		Scheme:    "hanayo-w2",
+		Cluster:   FullNVLink(8),
+		Model:     BERTStyle(),
+		P:         8,
+		D:         1,
+		B:         8,
+		MicroRows: 2,
+	}
+	fits, err := plan.Fits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fits {
+		t.Fatal("BERT on 8×80GB should fit")
+	}
+	thr, err := plan.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0 {
+		t.Fatal("zero throughput")
+	}
+
+	s, err := ScheduleByName("hanayo-w1", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(s, Uniform{Tf: 0.5, Tb: 1, Tc: 0.02}, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Gantt(&buf, r, 60)
+	if !strings.Contains(buf.String(), "hanayo-w1") {
+		t.Fatal("gantt missing scheme name")
+	}
+
+	// Real training through the facade.
+	tiny := Plan{
+		Scheme:    "dapple",
+		Cluster:   FullNVLink(2),
+		Model:     TinyModel(6, 8, 2, 16, 4, true),
+		P:         2,
+		D:         1,
+		B:         2,
+		MicroRows: 1,
+	}
+	eng, err := tiny.Engine(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGenerator(1, 16, 4)
+	if _, err := eng.Step(gen.Next(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAnalyticModels(t *testing.T) {
+	if ModelSizeGB(BERTStyle()) < 50 {
+		t.Fatal("BERT model size implausibly small")
+	}
+	gp := GPipeBubble(figParams(8))
+	hb := HanayoBubble(figParamsW(8, 4))
+	if hb >= gp {
+		t.Fatalf("hanayo bubble %g not below gpipe %g", hb, gp)
+	}
+}
+
+func TestFacadeAutoTune(t *testing.T) {
+	cands := AutoTune(TACC(8), BERTStyle(), SearchSpace{
+		PD: [][2]int{{4, 2}}, Waves: []int{1, 2}, B: 4, MicroRows: 1,
+	})
+	if _, ok := Best(cands); !ok {
+		t.Fatal("no feasible candidate")
+	}
+}

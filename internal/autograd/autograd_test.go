@@ -1,0 +1,166 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// gradCheck compares the analytic gradient of loss(params) against central
+// finite differences on every element of every parameter.
+func gradCheck(t *testing.T, params []*Value, loss func() *Value, tol float64) {
+	t.Helper()
+	root := loss()
+	if err := Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	analytic := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if p.Grad == nil {
+			t.Fatalf("param %d has nil grad", i)
+		}
+		analytic[i] = p.Grad.Clone()
+	}
+	const eps = 1e-3
+	for i, p := range params {
+		for j := range p.Data.Data {
+			orig := p.Data.Data[j]
+			p.Data.Data[j] = orig + eps
+			lp := float64(loss().Data.Data[0])
+			p.Data.Data[j] = orig - eps
+			lm := float64(loss().Data.Data[0])
+			p.Data.Data[j] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(analytic[i].Data[j])) > tol {
+				t.Fatalf("param %d elem %d: numeric %g analytic %g", i, j, num, analytic[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestBackwardLinearChain(t *testing.T) {
+	r := tensor.NewRNG(1)
+	w := NewLeaf(tensor.Randn(r, 0.5, 3, 2), true)
+	x := NewLeaf(tensor.Randn(r, 1, 4, 3), false)
+	gradCheck(t, []*Value{w}, func() *Value {
+		w.Grad = nil
+		return MeanAll(MatMul(x, w))
+	}, 1e-2)
+}
+
+func TestBackwardMLP(t *testing.T) {
+	r := tensor.NewRNG(2)
+	w1 := NewLeaf(tensor.Randn(r, 0.5, 4, 5), true)
+	b1 := NewLeaf(tensor.Randn(r, 0.5, 5), true)
+	w2 := NewLeaf(tensor.Randn(r, 0.5, 5, 3), true)
+	x := NewLeaf(tensor.Randn(r, 1, 2, 4), false)
+	gradCheck(t, []*Value{w1, b1, w2}, func() *Value {
+		w1.Grad, b1.Grad, w2.Grad = nil, nil, nil
+		h := Tanh(Add(MatMul(x, w1), b1))
+		return MeanAll(MatMul(h, w2))
+	}, 1e-2)
+}
+
+func TestBackwardSoftmaxLoss(t *testing.T) {
+	r := tensor.NewRNG(3)
+	w := NewLeaf(tensor.Randn(r, 0.5, 4, 4), true)
+	x := NewLeaf(tensor.Randn(r, 1, 3, 4), false)
+	mask := NewLeaf(tensor.Randn(r, 1, 3, 4), false)
+	gradCheck(t, []*Value{w}, func() *Value {
+		w.Grad = nil
+		return MeanAll(Mul(Softmax(MatMul(x, w)), mask))
+	}, 1e-2)
+}
+
+func TestBackwardReLUAndSub(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := NewLeaf(tensor.Randn(r, 1, 6), true)
+	b := NewLeaf(tensor.Randn(r, 1, 6), true)
+	gradCheck(t, []*Value{a, b}, func() *Value {
+		a.Grad, b.Grad = nil, nil
+		return SumAll(ReLU(Sub(a, b)))
+	}, 1e-2)
+}
+
+func TestBackwardSharedNodeAccumulates(t *testing.T) {
+	// y = sum(x*x') where x used twice: grad must be 2x.
+	x := NewLeaf(tensor.FromSlice([]float32{1, 2, 3}, 3), true)
+	root := SumAll(Mul(x, x))
+	if err := Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 4, 6}
+	for i, w := range want {
+		if math.Abs(float64(x.Grad.Data[i]-w)) > 1e-6 {
+			t.Fatalf("grad[%d]=%g want %g", i, x.Grad.Data[i], w)
+		}
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	x := NewLeaf(tensor.Ones(2, 2), true)
+	if err := Backward(Scale(x, 2)); err == nil {
+		t.Fatal("expected error for non-scalar root")
+	}
+}
+
+func TestNoGradLeafStaysNil(t *testing.T) {
+	x := NewLeaf(tensor.Ones(2), false)
+	w := NewLeaf(tensor.Ones(2), true)
+	root := SumAll(Mul(x, w))
+	if err := Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	if x.Grad != nil {
+		t.Fatal("requiresGrad=false leaf must not receive a gradient")
+	}
+	if w.Grad == nil {
+		t.Fatal("parameter leaf must receive a gradient")
+	}
+}
+
+// Property: gradient of sum(s·x) w.r.t. x is s everywhere.
+func TestQuickScaleGradient(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(8)
+		s := float32(r.Float64()*4 - 2)
+		x := NewLeaf(tensor.Randn(r, 1, n), true)
+		if err := Backward(SumAll(Scale(x, s))); err != nil {
+			return false
+		}
+		for _, g := range x.Grad.Data {
+			if math.Abs(float64(g-s)) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — grad of sum(a+b) w.r.t. each input is all-ones.
+func TestQuickAddGradient(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(8)
+		a := NewLeaf(tensor.Randn(r, 1, n), true)
+		b := NewLeaf(tensor.Randn(r, 1, n), true)
+		if err := Backward(SumAll(Add(a, b))); err != nil {
+			return false
+		}
+		for i := range a.Grad.Data {
+			if a.Grad.Data[i] != 1 || b.Grad.Data[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cluster models the four evaluation environments of the paper
+// (§5): TACC Lonestar6, a Tencent V100 cloud node, and two local A100
+// servers with partial (PC) and full (FC) NVLink connectivity. A Cluster is
+// a set of devices with per-pair bandwidth/latency — exactly the inputs the
+// simulator's communication model needs.
+package cluster
+
+import "fmt"
+
+// GPU describes one accelerator.
+type GPU struct {
+	Name     string
+	MemGB    float64 // usable HBM
+	TFLOPS   float64 // sustained mixed-precision throughput (not peak)
+	NodeID   int     // which host the GPU sits in
+	SocketID int
+}
+
+// Cluster is a named set of GPUs plus a link model.
+type Cluster struct {
+	Name    string
+	Devices []GPU
+	// bwGBs[i][j] is sustained bandwidth in GB/s between devices i and j;
+	// latS[i][j] is one-way latency in seconds.
+	bwGBs [][]float64
+	latS  [][]float64
+}
+
+// N returns the device count.
+func (c *Cluster) N() int { return len(c.Devices) }
+
+// Bandwidth returns GB/s between devices i and j.
+func (c *Cluster) Bandwidth(i, j int) float64 { return c.bwGBs[i][j] }
+
+// Latency returns seconds of one-way latency between devices i and j.
+func (c *Cluster) Latency(i, j int) float64 { return c.latS[i][j] }
+
+// CommTime returns the time to move bytes from i to j.
+func (c *Cluster) CommTime(i, j int, bytes float64) float64 {
+	if i == j {
+		return 0
+	}
+	return c.latS[i][j] + bytes/(c.bwGBs[i][j]*1e9)
+}
+
+// MemBytes returns device i's usable memory in bytes.
+func (c *Cluster) MemBytes(i int) float64 { return c.Devices[i].MemGB * 1e9 }
+
+// Flops returns device i's sustained FLOP/s.
+func (c *Cluster) Flops(i int) float64 { return c.Devices[i].TFLOPS * 1e12 }
+
+func newUniform(name string, n int, gpu GPU) *Cluster {
+	c := &Cluster{Name: name}
+	for i := 0; i < n; i++ {
+		g := gpu
+		c.Devices = append(c.Devices, g)
+	}
+	c.bwGBs = make([][]float64, n)
+	c.latS = make([][]float64, n)
+	for i := range c.bwGBs {
+		c.bwGBs[i] = make([]float64, n)
+		c.latS[i] = make([]float64, n)
+	}
+	return c
+}
+
+func (c *Cluster) setLink(i, j int, bw, lat float64) {
+	c.bwGBs[i][j], c.bwGBs[j][i] = bw, bw
+	c.latS[i][j], c.latS[j][i] = lat, lat
+}
+
+// Effective bandwidths (GB/s) and latencies (s). These are sustained
+// figures, deliberately below peak (NVLink3 peak 300 GB/s per direction,
+// PCIe4 x16 peak 32 GB/s, HDR InfiniBand peak 25 GB/s).
+const (
+	nvlinkA100BW = 200.0
+	nvlinkV100BW = 120.0
+	pcieBW       = 12.0
+	ibBW         = 8.0
+
+	nvlinkLat = 3e-6
+	pcieLat   = 8e-6
+	ibLat     = 2.5e-5
+)
+
+// TACC models Lonestar6 GPU nodes: A100-40GB, three GPUs per node with no
+// NVLink (GPU0 on socket 0; GPU1/2 on socket 1), InfiniBand between nodes.
+// n is the total GPU count (the paper uses 8–32).
+func TACC(n int) *Cluster {
+	c := newUniform("TACC", n, GPU{Name: "A100-40GB", MemGB: 40, TFLOPS: 140})
+	for i := 0; i < n; i++ {
+		c.Devices[i].NodeID = i / 3
+		c.Devices[i].SocketID = map[bool]int{true: 0, false: 1}[i%3 == 0]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c.Devices[i].NodeID == c.Devices[j].NodeID {
+				c.setLink(i, j, pcieBW, pcieLat)
+			} else {
+				c.setLink(i, j, ibBW, ibLat)
+			}
+		}
+	}
+	return c
+}
+
+// Tencent models the GN10Xp cloud node: 8×V100-32GB with NVLink
+// (hybrid-cube-mesh; we model a uniform sustained NVLink rate).
+func Tencent(n int) *Cluster {
+	c := newUniform("TC", n, GPU{Name: "V100-32GB", MemGB: 32, TFLOPS: 55})
+	for i := 0; i < n; i++ {
+		c.Devices[i].NodeID = i / 8
+		for j := i + 1; j < n; j++ {
+			if i/8 == j/8 {
+				c.setLink(i, j, nvlinkV100BW, nvlinkLat)
+			} else {
+				c.setLink(i, j, ibBW, ibLat)
+			}
+		}
+	}
+	return c
+}
+
+// PartialNVLink (PC) models the local A100-80GB server where GPUs are
+// NVLinked in pairs (0-1, 2-3, 4-5, 6-7) and reach other pairs over PCIe.
+func PartialNVLink(n int) *Cluster {
+	c := newUniform("PC", n, GPU{Name: "A100-80GB", MemGB: 80, TFLOPS: 150})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i/2 == j/2 {
+				c.setLink(i, j, nvlinkA100BW, nvlinkLat)
+			} else {
+				c.setLink(i, j, pcieBW, pcieLat)
+			}
+		}
+	}
+	return c
+}
+
+// FullNVLink (FC) models the local A100-80GB server with all-to-all NVLink.
+func FullNVLink(n int) *Cluster {
+	c := newUniform("FC", n, GPU{Name: "A100-80GB", MemGB: 80, TFLOPS: 150})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.setLink(i, j, nvlinkA100BW, nvlinkLat)
+		}
+	}
+	return c
+}
+
+// ByName returns a preset cluster: "tacc", "tc", "pc", "fc".
+func ByName(name string, n int) (*Cluster, error) {
+	switch name {
+	case "tacc", "TACC":
+		return TACC(n), nil
+	case "tc", "TC", "tencent":
+		return Tencent(n), nil
+	case "pc", "PC":
+		return PartialNVLink(n), nil
+	case "fc", "FC":
+		return FullNVLink(n), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown preset %q", name)
+}
+
+// Names lists the preset cluster names in the paper's order.
+func Names() []string { return []string{"pc", "fc", "tacc", "tc"} }

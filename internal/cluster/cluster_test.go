@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsExist(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.N() != 8 {
+			t.Fatalf("%s: %d devices", name, c.N())
+		}
+	}
+	if _, err := ByName("bogus", 8); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		names := Names()
+		c, _ := ByName(names[int(seed%uint64(len(names)))], 8)
+		i := int((seed >> 8) % 8)
+		j := int((seed >> 16) % 8)
+		if i == j {
+			return c.CommTime(i, j, 1e6) == 0
+		}
+		return c.Bandwidth(i, j) == c.Bandwidth(j, i) && c.Latency(i, j) == c.Latency(j, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCFasterThanTACC(t *testing.T) {
+	fc := FullNVLink(8)
+	tacc := TACC(8)
+	bytes := 1e7
+	if fc.CommTime(0, 7, bytes) >= tacc.CommTime(0, 7, bytes) {
+		t.Fatal("full NVLink must beat TACC PCIe/IB")
+	}
+}
+
+func TestPCPairsFasterThanCross(t *testing.T) {
+	pc := PartialNVLink(8)
+	bytes := 1e7
+	if pc.CommTime(0, 1, bytes) >= pc.CommTime(0, 2, bytes) {
+		t.Fatal("NVLink pair must beat PCIe cross-pair")
+	}
+}
+
+func TestTACCTopology(t *testing.T) {
+	c := TACC(9)
+	// Devices 0,1,2 share node 0; device 3 is on node 1.
+	if c.Devices[0].NodeID != 0 || c.Devices[3].NodeID != 1 {
+		t.Fatalf("node ids %d %d", c.Devices[0].NodeID, c.Devices[3].NodeID)
+	}
+	bytes := 1e7
+	intra := c.CommTime(0, 1, bytes)
+	inter := c.CommTime(0, 3, bytes)
+	if intra >= inter {
+		t.Fatal("intra-node must beat inter-node")
+	}
+}
+
+func TestCommTimeMonotonicInBytes(t *testing.T) {
+	c := Tencent(8)
+	if c.CommTime(0, 1, 1e6) >= c.CommTime(0, 1, 1e8) {
+		t.Fatal("more bytes must take longer")
+	}
+}
+
+func TestMemAndFlops(t *testing.T) {
+	c := TACC(3)
+	if c.MemBytes(0) != 40e9 {
+		t.Fatalf("mem %g", c.MemBytes(0))
+	}
+	if c.Flops(0) != 140e12 {
+		t.Fatalf("flops %g", c.Flops(0))
+	}
+}

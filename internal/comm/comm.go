@@ -1,0 +1,160 @@
+// Package comm is the in-process stand-in for NCCL point-to-point
+// communication (paper §4.2): a message router with tagged mailboxes,
+// asynchronous sends, posted receives (prefetching) and batched
+// send/receive groups. One Router serves one pipeline replica; workers are
+// goroutines. Sends never block (bounded only by memory), which gives the
+// same progress guarantees as batch_isend_irecv and makes wave pipelines'
+// bidirectional exchanges deadlock-free.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Tag identifies one transfer: payload kind, micro-batch, stage and the
+// directed device pair.
+type Tag struct {
+	Kind  string // "act" or "grad"
+	Micro int
+	Stage int
+	Src   int
+	Dst   int
+}
+
+// String renders the tag for diagnostics.
+func (t Tag) String() string {
+	return fmt.Sprintf("%s m%d s%d %d->%d", t.Kind, t.Micro, t.Stage, t.Src, t.Dst)
+}
+
+// Stats aggregates router counters. Durations are wall-clock and only
+// meaningful relatively (this is an in-process transport).
+type Stats struct {
+	Messages     int64
+	Bytes        int64
+	RecvWaits    int64         // receives that blocked
+	PrefetchHits int64         // receives satisfied instantly
+	WaitTime     time.Duration // total blocked time in Recv
+}
+
+// Router moves tensors between workers of one pipeline replica.
+type Router struct {
+	mu    sync.Mutex
+	boxes map[Tag]chan *tensor.Tensor
+	stats Stats
+	// capacity per mailbox; 1 suffices because tags are unique per
+	// iteration, but re-used tags across iterations need draining, which
+	// Reset handles.
+	closed bool
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{boxes: map[Tag]chan *tensor.Tensor{}}
+}
+
+func (r *Router) box(t Tag) chan *tensor.Tensor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		panic("comm: router used after Close")
+	}
+	ch, ok := r.boxes[t]
+	if !ok {
+		ch = make(chan *tensor.Tensor, 1)
+		r.boxes[t] = ch
+	}
+	return ch
+}
+
+// Send delivers payload under tag t without blocking the caller.
+// Each tag may be sent at most once between Resets.
+func (r *Router) Send(t Tag, payload *tensor.Tensor) {
+	ch := r.box(t)
+	select {
+	case ch <- payload:
+		r.mu.Lock()
+		r.stats.Messages++
+		r.stats.Bytes += payload.NumBytes()
+		r.mu.Unlock()
+	default:
+		panic(fmt.Sprintf("comm: duplicate send for tag %v", t))
+	}
+}
+
+// Recv blocks until the payload tagged t arrives.
+func (r *Router) Recv(t Tag) *tensor.Tensor {
+	ch := r.box(t)
+	select {
+	case p := <-ch:
+		r.mu.Lock()
+		r.stats.PrefetchHits++
+		r.mu.Unlock()
+		return p
+	default:
+	}
+	start := time.Now()
+	p := <-ch
+	r.mu.Lock()
+	r.stats.RecvWaits++
+	r.stats.WaitTime += time.Since(start)
+	r.mu.Unlock()
+	return p
+}
+
+// TryRecv returns the payload if already delivered.
+func (r *Router) TryRecv(t Tag) (*tensor.Tensor, bool) {
+	select {
+	case p := <-r.box(t):
+		return p, true
+	default:
+		return nil, false
+	}
+}
+
+// BatchExchange issues all sends and then waits for all receives — the
+// batch_isend_irecv pattern that avoids bidirectional deadlock.
+func (r *Router) BatchExchange(sends map[Tag]*tensor.Tensor, recvs []Tag) map[Tag]*tensor.Tensor {
+	for t, p := range sends {
+		r.Send(t, p)
+	}
+	out := make(map[Tag]*tensor.Tensor, len(recvs))
+	for _, t := range recvs {
+		out[t] = r.Recv(t)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Reset drops all mailboxes (between iterations, so tags can repeat).
+// Undelivered messages are an error: the schedule should have consumed all.
+func (r *Router) Reset() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t, ch := range r.boxes {
+		select {
+		case <-ch:
+			return fmt.Errorf("comm: undelivered message %v at reset", t)
+		default:
+		}
+	}
+	r.boxes = map[Tag]chan *tensor.Tensor{}
+	return nil
+}
+
+// Close marks the router unusable; subsequent use panics. It helps catch
+// worker leaks in tests.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+}

@@ -1,0 +1,235 @@
+// Package core is Hanayo's unified pipeline-parallelism framework (paper
+// §3): a Plan ties together a scheme, a cluster, a model and the pipeline
+// shape (P devices, D data-parallel replicas, W waves, B micro-batches),
+// and provides schedule generation, memory feasibility, simulated
+// throughput, real-runtime construction and the configuration search of
+// §5.3 (Fig 10).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/memmodel"
+	"repro/internal/nn"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Plan is one fully specified pipeline-parallel training configuration.
+type Plan struct {
+	Scheme    string // "gpipe", "dapple", "chimera", "chimera-wave", "hanayo-w<N>"
+	Cluster   *cluster.Cluster
+	Model     nn.Config
+	P         int // pipeline devices per replica
+	D         int // data-parallel replicas
+	B         int // micro-batches per replica per iteration
+	MicroRows int // sequences per micro-batch
+}
+
+// Validate checks structural consistency against the cluster.
+func (p Plan) Validate() error {
+	if p.Cluster == nil {
+		return fmt.Errorf("core: plan needs a cluster")
+	}
+	if p.P <= 0 || p.D <= 0 || p.B <= 0 || p.MicroRows <= 0 {
+		return fmt.Errorf("core: P, D, B, MicroRows must be positive (got %d,%d,%d,%d)", p.P, p.D, p.B, p.MicroRows)
+	}
+	if p.P*p.D > p.Cluster.N() {
+		return fmt.Errorf("core: plan uses %d devices, cluster has %d", p.P*p.D, p.Cluster.N())
+	}
+	return p.Model.Validate()
+}
+
+// Schedule generates and validates the action lists for one replica.
+func (p Plan) Schedule() (*sched.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := sched.ByName(p.Scheme, p.P, p.B)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Simulate runs the discrete-event executor with the cluster cost model and
+// returns the per-replica result (replicas are identical and concurrent).
+func (p Plan) Simulate(opt sim.Options) (*sim.Result, error) {
+	s, err := p.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := costmodel.New(costmodel.Workload{Model: p.Model, MicroRows: p.MicroRows}, p.Cluster, s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(s, cost, opt)
+}
+
+// Memory estimates per-device peak memory using the simulator's activation
+// peaks (falling back to analytic peaks if simulation fails).
+func (p Plan) Memory() (*memmodel.Estimate, error) {
+	s, err := p.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	peaks := memmodel.AnalyticPeakActs(s)
+	if r, err := p.Simulate(sim.DefaultOptions()); err == nil {
+		peaks = r.PeakActs
+	}
+	return memmodel.ForSchedule(s, p.Model, p.MicroRows, peaks), nil
+}
+
+// Fits reports whether the plan's peak memory fits every device (with a
+// 5% headroom, matching framework reserves).
+func (p Plan) Fits() (bool, error) {
+	e, err := p.Memory()
+	if err != nil {
+		return false, err
+	}
+	return memmodel.FitsCluster(e, p.Cluster, 0.95), nil
+}
+
+// Throughput returns simulated end-to-end sequences/second across all D
+// replicas (replicas run concurrently on disjoint devices).
+func (p Plan) Throughput() (float64, error) {
+	r, err := p.Simulate(sim.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	perReplica := sim.Throughput(r, p.B*p.MicroRows)
+	return perReplica * float64(p.D), nil
+}
+
+// Engine builds the real training runtime for this plan (requires the
+// model to be deep enough for the stage count).
+func (p Plan) Engine(seed uint64, newOpt func() nn.Optimizer) (*runtime.Engine, error) {
+	s, err := p.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	return runtime.New(runtime.Config{
+		Schedule:     s,
+		Model:        p.Model,
+		DP:           p.D,
+		Seed:         seed,
+		NewOptimizer: newOpt,
+	})
+}
+
+// Candidate is one point of the Fig 10 search space with its outcome.
+type Candidate struct {
+	Plan       Plan
+	Throughput float64 // sequences/s; 0 when OOM
+	PeakGB     float64
+	OOM        bool
+	Err        error
+}
+
+// SearchSpace bounds the AutoTune sweep.
+type SearchSpace struct {
+	Schemes   []string // nil → GPipe, DAPPLE, Chimera-wave (Hanayo is always swept)
+	PD        [][2]int // (P, D) combinations; nil → power-of-two divisor pairs of N
+	Waves     []int    // wave counts tried for Hanayo; nil → 1,2,4,8
+	B         int      // micro-batches per replica
+	MicroRows int
+}
+
+// DefaultSchemes returns the baseline set of §5.
+func DefaultSchemes() []string { return []string{"gpipe", "dapple", "chimera-wave"} }
+
+// AutoTune sweeps the search space and returns all candidates sorted by
+// throughput (best first). OOM candidates sort last — they appear in Fig 10
+// as blank cells.
+func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
+	if space.Schemes == nil {
+		space.Schemes = DefaultSchemes()
+	}
+	if space.Waves == nil {
+		space.Waves = []int{1, 2, 4, 8}
+	}
+	if space.PD == nil {
+		n := cl.N()
+		for p := 2; p <= n; p *= 2 {
+			if n%p == 0 {
+				space.PD = append(space.PD, [2]int{p, n / p})
+			}
+		}
+	}
+	if space.B == 0 {
+		space.B = 8
+	}
+	if space.MicroRows == 0 {
+		space.MicroRows = 1
+	}
+
+	var out []Candidate
+	measure := func(plan Plan) Candidate {
+		c := Candidate{Plan: plan}
+		mem, err := plan.Memory()
+		if err != nil {
+			c.Err = err
+			return c
+		}
+		c.PeakGB = mem.MaxGB()
+		if !memmodel.FitsCluster(mem, plan.Cluster, 0.95) {
+			c.OOM = true
+			return c
+		}
+		thr, err := plan.Throughput()
+		if err != nil {
+			c.Err = err
+			return c
+		}
+		c.Throughput = thr
+		return c
+	}
+
+	for _, pd := range space.PD {
+		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
+			B: space.B, MicroRows: space.MicroRows}
+		for _, scheme := range space.Schemes {
+			plan := base
+			plan.Scheme = scheme
+			out = append(out, measure(plan))
+		}
+		// Hanayo with a wave sweep: keep only the best wave per (P, D),
+		// mirroring §5.3 ("we searched for the best wave number under each
+		// parallelism configuration").
+		var bestWave *Candidate
+		for _, w := range space.Waves {
+			plan := base
+			plan.Scheme = fmt.Sprintf("hanayo-w%d", w)
+			c := measure(plan)
+			if bestWave == nil || c.Throughput > bestWave.Throughput {
+				cc := c
+				bestWave = &cc
+			}
+		}
+		if bestWave != nil {
+			out = append(out, *bestWave)
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Throughput > out[j].Throughput
+	})
+	return out
+}
+
+// Best returns the highest-throughput non-OOM candidate, if any.
+func Best(cands []Candidate) (Candidate, bool) {
+	for _, c := range cands {
+		if !c.OOM && c.Err == nil && c.Throughput > 0 {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+func bertPlan(scheme string, p, d int) Plan {
+	return Plan{
+		Scheme:    scheme,
+		Cluster:   cluster.FullNVLink(p * d),
+		Model:     nn.BERTStyle(),
+		P:         p,
+		D:         d,
+		B:         2 * d,
+		MicroRows: 2,
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := bertPlan("hanayo-w2", 4, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.P = 16 // 16×2 > 8 devices
+	if bad.Validate() == nil {
+		t.Fatal("expected device-count error")
+	}
+	bad2 := good
+	bad2.Cluster = nil
+	if bad2.Validate() == nil {
+		t.Fatal("expected nil-cluster error")
+	}
+}
+
+func TestPlanScheduleAndSimulate(t *testing.T) {
+	p := bertPlan("hanayo-w2", 8, 1)
+	s, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.S != 32 {
+		t.Fatalf("S=%d want 32", s.S)
+	}
+	r, err := p.Simulate(sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestThroughputScalesWithD(t *testing.T) {
+	p1 := bertPlan("dapple", 4, 1)
+	p2 := bertPlan("dapple", 4, 2)
+	p2.B = p1.B // same per-replica micro count
+	t1, err := p1.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p2.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < 1.9*t1 || t2 > 2.1*t1 {
+		t.Fatalf("DP=2 throughput %g not ≈2× DP=1 %g", t2, t1)
+	}
+}
+
+func TestHanayoOutperformsBaselinesOnFC(t *testing.T) {
+	// The paper's core evaluation claim, at the plan level.
+	get := func(scheme string) float64 {
+		thr, err := bertPlan(scheme, 8, 1).Throughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return thr
+	}
+	gpipe, dapple, cw := get("gpipe"), get("dapple"), get("chimera-wave")
+	h2 := get("hanayo-w2")
+	if !(h2 > cw && h2 > dapple && h2 > gpipe) {
+		t.Fatalf("hanayo-w2 %.3g not above gpipe %.3g dapple %.3g chimera-wave %.3g",
+			h2, gpipe, dapple, cw)
+	}
+}
+
+func TestMemoryFitsSmallVsLarge(t *testing.T) {
+	fits, err := bertPlan("hanayo-w2", 8, 1).Fits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fits {
+		t.Fatal("BERT on 8×80GB should fit")
+	}
+	tiny := bertPlan("gpipe", 2, 1)
+	tiny.Cluster = cluster.Tencent(2) // 32 GB devices, 2-way pipeline
+	tiny.B = 8
+	fits, err = tiny.Fits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits {
+		t.Fatal("BERT 2-way GPipe must OOM 32 GB devices")
+	}
+}
+
+func TestAutoTuneFindsFeasibleBest(t *testing.T) {
+	cl := cluster.TACC(8)
+	cands := AutoTune(cl, nn.BERTStyle(), SearchSpace{
+		PD:        [][2]int{{4, 2}, {8, 1}},
+		Waves:     []int{1, 2},
+		B:         4,
+		MicroRows: 1,
+	})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best, ok := Best(cands)
+	if !ok {
+		t.Fatal("no feasible candidate")
+	}
+	if best.Throughput <= 0 {
+		t.Fatal("best has zero throughput")
+	}
+	// The winner must be a Hanayo configuration on this search space.
+	if !strings.HasPrefix(best.Plan.Scheme, "hanayo") {
+		t.Fatalf("best scheme %q, expected a hanayo config", best.Plan.Scheme)
+	}
+	// Sorted descending by throughput.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Throughput > cands[i-1].Throughput {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+func TestEngineFromPlan(t *testing.T) {
+	p := Plan{
+		Scheme:    "hanayo-w1",
+		Cluster:   cluster.FullNVLink(2),
+		Model:     nn.Tiny(6, 8, 2, 16, 4, true),
+		P:         2,
+		D:         1,
+		B:         2,
+		MicroRows: 1,
+	}
+	eng, err := p.Engine(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Schedule().S != 4 {
+		t.Fatalf("S=%d", eng.Schedule().S)
+	}
+}
+
+func TestBestSkipsOOM(t *testing.T) {
+	cands := []Candidate{
+		{OOM: true, Throughput: 0},
+		{Throughput: 5},
+	}
+	best, ok := Best(cands)
+	if !ok || best.Throughput != 5 {
+		t.Fatalf("best %+v ok=%v", best, ok)
+	}
+	if _, ok := Best([]Candidate{{OOM: true}}); ok {
+		t.Fatal("all-OOM must return not-ok")
+	}
+}
+
+func TestPlanErrorPaths(t *testing.T) {
+	bad := bertPlan("no-such-scheme", 4, 1)
+	if _, err := bad.Schedule(); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	if _, err := bad.Simulate(sim.DefaultOptions()); err == nil {
+		t.Fatal("simulate must propagate schedule errors")
+	}
+	if _, err := bad.Memory(); err == nil {
+		t.Fatal("memory must propagate schedule errors")
+	}
+	if _, err := bad.Throughput(); err == nil {
+		t.Fatal("throughput must propagate schedule errors")
+	}
+	if _, err := bad.Fits(); err == nil {
+		t.Fatal("fits must propagate schedule errors")
+	}
+	if _, err := bad.Engine(1, nil); err == nil {
+		t.Fatal("engine must propagate schedule errors")
+	}
+	zero := bertPlan("dapple", 4, 1)
+	zero.B = 0
+	if zero.Validate() == nil {
+		t.Fatal("zero B must fail validation")
+	}
+}
+
+func TestAutoTuneDefaults(t *testing.T) {
+	// nil fields fall back to documented defaults.
+	cands := AutoTune(cluster.FullNVLink(4), nn.BERTStyle(), SearchSpace{})
+	if len(cands) == 0 {
+		t.Fatal("no candidates with default space")
+	}
+	if _, ok := Best(cands); !ok {
+		t.Fatal("defaults produced no feasible candidate")
+	}
+}
+
+func TestDefaultSchemes(t *testing.T) {
+	got := DefaultSchemes()
+	if len(got) != 3 || got[0] != "gpipe" {
+		t.Fatalf("default schemes %v", got)
+	}
+}

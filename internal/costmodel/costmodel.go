@@ -1,0 +1,145 @@
+// Package costmodel converts a transformer configuration plus a cluster
+// into the per-stage compute times and per-boundary transfer sizes the
+// simulator consumes. The FLOP formulas are the standard dense-transformer
+// counts; only ratios matter for schedule shape, absolute seconds give the
+// throughput scale.
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/sched"
+)
+
+// Workload fixes the per-micro-batch tensor shape.
+type Workload struct {
+	Model     nn.Config
+	MicroRows int // sequences per micro-batch
+}
+
+// LayerForwardFLOPs returns the forward FLOPs of one transformer block for
+// rows sequences: 24·b·s·h² for the four matmuls plus 4·b·s²·h attention.
+func LayerForwardFLOPs(cfg nn.Config, rows int) float64 {
+	b, s, h := float64(rows), float64(cfg.SeqLen), float64(cfg.Hidden)
+	return 24*b*s*h*h + 4*b*s*s*h
+}
+
+// ActivationBytes is the size of the boundary tensor [rows, seq, hidden]
+// in half precision — what one pipeline P2P transfer carries.
+func ActivationBytes(cfg nn.Config, rows int) float64 {
+	return float64(rows) * float64(cfg.SeqLen) * float64(cfg.Hidden) * 2
+}
+
+// Cost is the timing oracle a simulator needs.
+type Cost struct {
+	W Workload
+	C *cluster.Cluster
+	S int // pipeline stages the model is cut into
+
+	// BackwardRatio is Tb/Tf; the paper draws backwards at 2× forward.
+	BackwardRatio float64
+
+	// Heterogeneous adds the embedding lookup to stage 0 and the LM-head
+	// projection + softmax to stage S−1, making boundary stages heavier —
+	// the imbalance real frameworks see. Off by default: the paper's
+	// analysis (and our published tables) assume uniform stages.
+	Heterogeneous bool
+}
+
+// EmbedFLOPs is the forward cost of the embedding lookup (memory-bound;
+// modelled as one read-modify per element).
+func EmbedFLOPs(cfg nn.Config, rows int) float64 {
+	return 2 * float64(rows) * float64(cfg.SeqLen) * float64(cfg.Hidden)
+}
+
+// HeadFLOPs is the LM-head projection cost: 2·b·s·h·V.
+func HeadFLOPs(cfg nn.Config, rows int) float64 {
+	return 2 * float64(rows) * float64(cfg.SeqLen) * float64(cfg.Hidden) * float64(cfg.Vocab)
+}
+
+// New builds a Cost for schedule sc over cl. It allows S to exceed the
+// layer count: the simulator assigns fractional layers per stage, matching
+// the paper's assumption of arbitrarily divisible stage work (the real
+// runtime, by contrast, requires S ≤ Layers+2).
+func New(w Workload, cl *cluster.Cluster, sc *sched.Schedule) (*Cost, error) {
+	if cl.N() < sc.P {
+		return nil, fmt.Errorf("costmodel: cluster has %d devices, schedule needs %d", cl.N(), sc.P)
+	}
+	if w.MicroRows <= 0 {
+		return nil, fmt.Errorf("costmodel: MicroRows must be positive")
+	}
+	return &Cost{W: w, C: cl, S: sc.S, BackwardRatio: 2}, nil
+}
+
+// layersPerStage is the fractional layer share of one stage.
+func (c *Cost) layersPerStage() float64 {
+	return float64(c.W.Model.Layers) / float64(c.S)
+}
+
+// ForwardTime returns the stage forward time on device d.
+func (c *Cost) ForwardTime(d, stage int) float64 {
+	fl := c.layersPerStage() * LayerForwardFLOPs(c.W.Model, c.W.MicroRows)
+	if c.Heterogeneous {
+		if stage == 0 {
+			fl += EmbedFLOPs(c.W.Model, c.W.MicroRows)
+		}
+		if stage == c.S-1 {
+			fl += HeadFLOPs(c.W.Model, c.W.MicroRows)
+		}
+	}
+	return fl / c.C.Flops(d)
+}
+
+// BackwardTime returns the stage backward time on device d.
+func (c *Cost) BackwardTime(d, stage int) float64 {
+	return c.BackwardRatio * c.ForwardTime(d, stage)
+}
+
+// StageImbalance returns the heaviest-over-lightest forward-stage ratio —
+// 1.0 for the uniform model, > 1 with Heterogeneous set. The wave
+// placement softens the impact of boundary-stage weight because stage 0
+// and stage S−1 land on the same device, sharing the extra cost.
+func (c *Cost) StageImbalance() float64 {
+	minT, maxT := c.ForwardTime(0, 1), c.ForwardTime(0, 1)
+	for _, s := range []int{0, c.S - 1} {
+		t := c.ForwardTime(0, s)
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if minT <= 0 {
+		return 1
+	}
+	return maxT / minT
+}
+
+// CommTime returns the P2P transfer time of one boundary tensor.
+func (c *Cost) CommTime(src, dst int) float64 {
+	return c.C.CommTime(src, dst, ActivationBytes(c.W.Model, c.W.MicroRows))
+}
+
+// Uniform is a synthetic cost oracle with fixed tf/tb/tc, used by unit
+// tests and the theoretical-shape benchmarks (Tc=0, Tb=2Tf reproduces the
+// paper's Fig 1 assumptions).
+type Uniform struct {
+	Tf, Tb, Tc float64
+}
+
+// ForwardTime returns Tf.
+func (u Uniform) ForwardTime(d, stage int) float64 { return u.Tf }
+
+// BackwardTime returns Tb.
+func (u Uniform) BackwardTime(d, stage int) float64 { return u.Tb }
+
+// CommTime returns Tc for distinct devices.
+func (u Uniform) CommTime(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return u.Tc
+}

@@ -1,0 +1,158 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestLayerFLOPsScaleQuadraticInHidden(t *testing.T) {
+	a := nn.Config{Layers: 1, Hidden: 1024, Heads: 16, Vocab: 100, SeqLen: 128}
+	b := a
+	b.Hidden = 2048
+	ra := LayerForwardFLOPs(a, 1)
+	rb := LayerForwardFLOPs(b, 1)
+	if rb/ra < 3.5 || rb/ra > 4.1 {
+		t.Fatalf("doubling hidden gave ratio %g, want ≈4", rb/ra)
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	cfg := nn.Config{Layers: 1, Hidden: 8, Heads: 2, Vocab: 10, SeqLen: 4}
+	if got := ActivationBytes(cfg, 3); got != 3*4*8*2 {
+		t.Fatalf("bytes %g", got)
+	}
+}
+
+func TestCostStagesSplitWork(t *testing.T) {
+	cfg := nn.GPTStyle()
+	cl := cluster.FullNVLink(8)
+	s8, err := sched.DAPPLE(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Workload{Model: cfg, MicroRows: 2}, cl, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hanayo W=2 has 4× the stages, so per-stage time is 4× smaller while
+	// the per-device total matches.
+	r := c8.ForwardTime(0, 0) / ch.ForwardTime(0, 0)
+	if r < 3.9 || r > 4.1 {
+		t.Fatalf("stage-time ratio %g, want 4", r)
+	}
+	if c8.BackwardTime(0, 0) != 2*c8.ForwardTime(0, 0) {
+		t.Fatal("backward must be 2× forward")
+	}
+}
+
+func TestCommTimeUsesCluster(t *testing.T) {
+	cfg := nn.BERTStyle()
+	cl := cluster.PartialNVLink(8)
+	s, err := sched.DAPPLE(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CommTime(0, 1) >= c.CommTime(0, 2) {
+		t.Fatal("NVLink pair must be faster than PCIe")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	cfg := nn.BERTStyle()
+	s, err := sched.DAPPLE(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Workload{Model: cfg, MicroRows: 0}, cluster.FullNVLink(8), s); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	if _, err := New(Workload{Model: cfg, MicroRows: 2}, cluster.FullNVLink(4), s); err == nil {
+		t.Fatal("expected error for too-small cluster")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Tf: 1, Tb: 2, Tc: 0.5}
+	if u.ForwardTime(0, 0) != 1 || u.BackwardTime(0, 0) != 2 {
+		t.Fatal("uniform compute times")
+	}
+	if u.CommTime(1, 1) != 0 || u.CommTime(0, 1) != 0.5 {
+		t.Fatal("uniform comm times")
+	}
+}
+
+func TestHeterogeneousStages(t *testing.T) {
+	cfg := nn.GPTStyle()
+	cl := cluster.FullNVLink(8)
+	s, err := sched.DAPPLE(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StageImbalance() != 1 {
+		t.Fatalf("uniform imbalance %g", c.StageImbalance())
+	}
+	c.Heterogeneous = true
+	// Head projection (vocab 50k) dominates: last stage far heavier.
+	if c.ForwardTime(0, c.S-1) <= c.ForwardTime(0, 1) {
+		t.Fatal("head stage not heavier")
+	}
+	if c.ForwardTime(0, 0) <= c.ForwardTime(0, 1) {
+		t.Fatal("embedding stage not heavier")
+	}
+	if c.StageImbalance() <= 1 {
+		t.Fatalf("imbalance %g", c.StageImbalance())
+	}
+	// Middle stages unaffected.
+	if c.ForwardTime(0, 1) != c.ForwardTime(0, c.S-2) {
+		t.Fatal("middle stages must stay uniform")
+	}
+}
+
+func TestHeterogeneousSimRunsSlower(t *testing.T) {
+	cfg := nn.GPTStyle()
+	cl := cluster.FullNVLink(8)
+	s, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het.Heterogeneous = true
+	ru, err := sim.Run(s, uni, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := sim.Run(s, het, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Makespan <= ru.Makespan {
+		t.Fatalf("heterogeneous %g not slower than uniform %g", rh.Makespan, ru.Makespan)
+	}
+}

@@ -1,0 +1,62 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2–§5) from this reproduction's analytic models, simulator and
+// runtime. Each experiment writes a text table; EXPERIMENTS.md records the
+// paper-vs-measured comparison. Absolute numbers differ (the substrate is a
+// simulator, not the authors' clusters); the shapes are what must hold.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	Name  string // e.g. "fig1"
+	Title string
+	Run   func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(name, title string, run func(w io.Writer) error) {
+	registry[name] = Experiment{Name: name, Title: title, Run: run}
+}
+
+// Names lists registered experiments in order.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns an experiment by name.
+func Get(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Run executes one experiment by name.
+func Run(name string, w io.Writer) error {
+	e, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	fmt.Fprintf(w, "=== %s — %s ===\n", e.Name, e.Title)
+	return e.Run(w)
+}
+
+// RunAll executes every experiment in name order.
+func RunAll(w io.Writer) error {
+	for _, n := range Names() {
+		if err := Run(n, w); err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

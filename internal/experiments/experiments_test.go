@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "xtr01"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("have %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("have %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("fig99", &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// runAndCheck executes one experiment and checks the output contains the
+// markers that encode the paper's qualitative claims.
+func runAndCheck(t *testing.T, name string, markers ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(name, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range markers {
+		if !strings.Contains(out, m) {
+			t.Fatalf("%s output missing %q:\n%s", name, m, out)
+		}
+	}
+	return out
+}
+
+func TestFig01Shapes(t *testing.T) {
+	out := runAndCheck(t, "fig01", "GPipe", "GEMS", "Hanayo (wave=4)", "simulator cross-check")
+	// Hanayo wave=4 must show the lowest analytic ratio at 8 devices.
+	if !strings.Contains(out, "13.6%") {
+		t.Fatalf("expected hanayo w4 P=8 = 13.6%%:\n%s", out)
+	}
+}
+
+func TestFig02Table(t *testing.T) {
+	runAndCheck(t, "fig02", "chimera", "weights(Mw)", "P²/2 − P = 24")
+}
+
+func TestFig03AllTimelines(t *testing.T) {
+	out := runAndCheck(t, "fig03", "(a) GPipe", "(b) DAPPLE", "(c) Chimera",
+		"(d) Hanayo 1 wave", "(e) Hanayo 2 waves", "Mw units/device")
+	// Chimera's subfigure must report 2 weight replicas.
+	if !strings.Contains(out, "replicas=2") {
+		t.Fatal("chimera replica count missing")
+	}
+}
+
+func TestFig04AsyncBeatsSync(t *testing.T) {
+	runAndCheck(t, "fig04", "synchronous 1F1B (flush)", "async 1F1B (8 iters, no flush)")
+}
+
+func TestFig05Transform(t *testing.T) {
+	runAndCheck(t, "fig05", "before: Chimera", "after: 2 ×", "turn communication removed")
+}
+
+func TestFig06Waves(t *testing.T) {
+	runAndCheck(t, "fig06", "wave=2, devices=8", "hanayo-w4")
+}
+
+func TestFig07Zones(t *testing.T) {
+	out := runAndCheck(t, "fig07", "zone A", "zone B", "zone C", "zone cross")
+	_ = out
+}
+
+func TestFig08MemoryShapes(t *testing.T) {
+	out := runAndCheck(t, "fig08", "bert-64L", "gpt-128L", "OOM")
+	// One GPipe row per setting (plus the shape footnote).
+	if strings.Count(out, "GPipe") < 4 {
+		t.Fatal("expected four GPipe rows")
+	}
+}
+
+func TestFig09Throughput(t *testing.T) {
+	out := runAndCheck(t, "fig09", "(D=1, P=8)", "(D=2, P=4)", "TACC", "best-hanayo vs chimera-wave")
+	// Every cluster row must report a positive Hanayo gain.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "best-hanayo") && !strings.Contains(line, "+") {
+			t.Fatalf("non-positive hanayo gain: %s", line)
+		}
+	}
+}
+
+func TestFig10Search(t *testing.T) {
+	out := runAndCheck(t, "fig10", "selected configuration", "OOM")
+	if !strings.Contains(out, "Hanayo") {
+		t.Fatal("search did not select a Hanayo config")
+	}
+}
+
+func TestFig11WeakScaling(t *testing.T) {
+	runAndCheck(t, "fig11", "efficiency", "100.0%")
+}
+
+func TestFig12StrongScaling(t *testing.T) {
+	runAndCheck(t, "fig12", "OOM", "speedup")
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "===") < 12 {
+		t.Fatal("missing experiment headers")
+	}
+}
+
+func TestXtr01Ablations(t *testing.T) {
+	out := runAndCheck(t, "xtr01", "prefetch + batched comm (paper)", "no prefetch", "interleaved placement")
+	if !strings.Contains(out, "DEADLOCK") {
+		t.Fatal("unbatched blocking comm should deadlock this wave schedule")
+	}
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig08", "Peak memory distribution on 32 GPUs (TACC)", fig08)
+	register("fig09", "Throughput across four clusters (BERT-style, 8 GPUs)", fig09)
+	register("fig10", "Configuration search on 32 GPUs with OOM cells", fig10)
+	register("fig11", "Weak scaling, 8→32 devices (TACC)", fig11)
+	register("fig12", "Strong scaling, 8→32 devices (TACC)", fig12)
+}
+
+var evalSchemes = []string{"gpipe", "dapple", "chimera-wave", "hanayo-w2"}
+
+// fig08 reproduces Fig 8: the distribution of peak memory across the
+// devices of a 32-GPU TACC allocation for BERT-style and GPT-style models
+// under four (P, N=data-parallel, B=micro-rows) settings.
+func fig08(w io.Writer) error {
+	cl := cluster.TACC(32)
+	type setting struct {
+		model nn.Config
+		p, n  int
+		rows  int
+	}
+	settings := []setting{
+		{nn.BERTStyle(), 8, 4, 2},
+		{nn.BERTStyle(), 16, 2, 2},
+		{nn.GPTStyle(), 8, 4, 2},
+		{nn.GPTStyle(), 16, 2, 2},
+	}
+	for _, st := range settings {
+		fmt.Fprintf(w, "\n%s  (P=%d, N=%d, B=%d) on %d×40GB\n",
+			st.model.Name, st.p, st.n, st.rows, cl.N())
+		fmt.Fprintf(w, "%-14s %9s %9s %9s %10s %5s\n", "scheme", "maxGB", "minGB", "meanGB", "varGB²", "OOM")
+		for _, scheme := range evalSchemes {
+			// Micro-batch count chosen to maximize memory use (§5.3):
+			// more micro-batches than stages so GPipe's keep-everything
+			// policy exceeds the 1F1B family's bounded windows.
+			plan := core.Plan{Scheme: scheme, Cluster: cl, Model: st.model,
+				P: st.p, D: st.n, B: st.p + 4, MicroRows: st.rows}
+			// Chimera proper for the memory figure: the paper's Fig 8
+			// shows its duplicated weights.
+			if scheme == "chimera-wave" {
+				plan.Scheme = "chimera"
+			}
+			est, err := plan.Memory()
+			if err != nil {
+				return err
+			}
+			per := est.Total()
+			gbs := make([]float64, len(per))
+			for i, b := range per {
+				gbs[i] = b / 1e9
+			}
+			oom := "-"
+			if !memmodel.FitsCluster(est, cl, 0.95) {
+				oom = "OOM"
+			}
+			fmt.Fprintf(w, "%-14s %9.1f %9.1f %9.1f %10.2f %5s\n",
+				displayName(plan.Scheme), stats.Max(gbs), stats.Min(gbs), stats.Mean(gbs), stats.Variance(gbs), oom)
+		}
+	}
+	fmt.Fprintln(w, "\nshape: GPipe high+balanced (OOM-prone), DAPPLE unbalanced, Chimera 2×-weights,")
+	fmt.Fprintln(w, "       Hanayo ≈Chimera-level peak with the lowest variance")
+	return nil
+}
+
+func displayName(s string) string {
+	switch s {
+	case "chimera":
+		return "Chimera"
+	case "chimera-wave":
+		return "Chimera-wave"
+	case "gpipe":
+		return "GPipe"
+	case "dapple":
+		return "DAPPLE"
+	}
+	if strings.HasPrefix(s, "hanayo-w") {
+		return "Hanayo-" + strings.TrimPrefix(s, "hanayo-w") + "w"
+	}
+	return s
+}
+
+// fig09 reproduces Fig 9: BERT-style throughput on the four clusters with
+// (D=1, P=8) and (D=2, P=4), schemes G/D/C/H-2/H-4/H-8.
+func fig09(w io.Writer) error {
+	schemes := []string{"gpipe", "dapple", "chimera-wave", "hanayo-w2", "hanayo-w4", "hanayo-w8"}
+	model := nn.BERTStyle()
+	for _, shape := range []struct{ d, p int }{{1, 8}, {2, 4}} {
+		fmt.Fprintf(w, "\n(D=%d, P=%d) throughput in sequences/s\n", shape.d, shape.p)
+		fmt.Fprintf(w, "%-8s", "cluster")
+		for _, s := range schemes {
+			fmt.Fprintf(w, " %12s", displayName(s))
+		}
+		fmt.Fprintln(w)
+		for _, cname := range cluster.Names() {
+			cl, err := cluster.ByName(cname, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-8s", strings.ToUpper(cname))
+			var hBest, cw float64
+			for _, scheme := range schemes {
+				plan := core.Plan{Scheme: scheme, Cluster: cl, Model: model,
+					P: shape.p, D: shape.d, B: 8 / shape.d, MicroRows: 2}
+				thr, err := plan.Throughput()
+				if err != nil {
+					return err
+				}
+				if scheme == "chimera-wave" {
+					cw = thr
+				}
+				if strings.HasPrefix(scheme, "hanayo") && thr > hBest {
+					hBest = thr
+				}
+				fmt.Fprintf(w, " %12.3f", thr)
+			}
+			fmt.Fprintf(w, "   best-hanayo vs chimera-wave: %+5.1f%%\n", stats.Speedup(cw, hBest))
+		}
+	}
+	fmt.Fprintln(w, "\nshape: Hanayo wins everywhere; optimal wave count is lower on TACC (poor")
+	fmt.Fprintln(w, "       interconnect) than on FC/PC/TC (NVLink), as in §5.2")
+	return nil
+}
+
+// fig10 reproduces Fig 10: the (P, D) × scheme search on 32 GPUs with OOM
+// cells, picking the configuration used by the scaling studies.
+func fig10(w io.Writer) error {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	cands := core.AutoTune(cl, model, core.SearchSpace{
+		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
+		Waves:     []int{1, 2, 4},
+		B:         16,
+		MicroRows: 2, // batch sized to press against the 40 GB limit (§5.3)
+	})
+	fmt.Fprintf(w, "%-14s %6s %4s %12s %9s %5s\n", "scheme", "P", "D", "seq/s", "peakGB", "OOM")
+	for _, c := range cands {
+		oom := "-"
+		thr := fmt.Sprintf("%.3f", c.Throughput)
+		if c.OOM {
+			oom, thr = "OOM", "-"
+		}
+		if c.Err != nil {
+			thr = "err"
+		}
+		fmt.Fprintf(w, "%-14s %6d %4d %12s %9.1f %5s\n",
+			displayName(c.Plan.Scheme), c.Plan.P, c.Plan.D, thr, c.PeakGB, oom)
+	}
+	if best, ok := core.Best(cands); ok {
+		fmt.Fprintf(w, "\nselected configuration: %s (P=%d, D=%d) at %.3f seq/s\n",
+			displayName(best.Plan.Scheme), best.Plan.P, best.Plan.D, best.Throughput)
+	}
+	return nil
+}
+
+// scalingRow measures one scheme at one device count on TACC. The scaling
+// studies use the full 40 GB (margin 1.0): the memory model already folds
+// framework overheads into its per-parameter byte counts.
+func scalingRow(scheme string, devices, b, rows int) (float64, bool, error) {
+	cl := cluster.TACC(devices)
+	d := devices / 8 // keep P=8 pipelines, grow data parallelism
+	plan := core.Plan{Scheme: scheme, Cluster: cl, Model: nn.BERTStyle(),
+		P: 8, D: d, B: b, MicroRows: rows}
+	est, err := plan.Memory()
+	if err != nil {
+		return 0, false, err
+	}
+	if !memmodel.FitsCluster(est, cl, 1.0) {
+		return 0, true, nil
+	}
+	thr, err := plan.Throughput()
+	return thr, false, err
+}
+
+// fig11 reproduces Fig 11: weak scaling — devices 8→32 with the total batch
+// growing proportionally (2→8 sequences per pipeline iteration).
+func fig11(w io.Writer) error {
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "scheme", "8 dev", "16 dev", "32 dev", "efficiency")
+	for _, scheme := range evalSchemes {
+		var thr []float64
+		for _, devices := range []int{8, 16, 32} {
+			// Per-replica work constant (8 micro-batches of 2 rows);
+			// total batch grows with the device count.
+			v, oom, err := scalingRow(scheme, devices, 8, 2)
+			if err != nil {
+				return err
+			}
+			if oom {
+				v = 0
+			}
+			thr = append(thr, v)
+		}
+		eff := stats.WeakScalingEfficiency(thr[0], thr[2], 8, 32)
+		fmt.Fprintf(w, "%-14s %12.3f %12.3f %12.3f %9.1f%%\n",
+			displayName(scheme), thr[0], thr[1], thr[2], eff)
+	}
+	fmt.Fprintln(w, "\nshape: Hanayo > Chimera-wave (~8%) > DAPPLE ≈ GPipe (~33%); efficiency ≈100%")
+	return nil
+}
+
+// fig12 reproduces Fig 12: strong scaling — a fixed batch of 4 sequences
+// per iteration spread over more devices; GPipe/DAPPLE OOM at 8 devices
+// with the large per-device batch.
+func fig12(w io.Writer) error {
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "scheme", "8 dev", "16 dev", "32 dev", "speedup")
+	for _, scheme := range evalSchemes {
+		var cells []string
+		var thr []float64
+		for _, devices := range []int{8, 16, 32} {
+			d := devices / 8
+			// Fixed global batch of 32 sequences (16 micro-batches of 2
+			// rows) split across replicas — sized so that GPipe's
+			// keep-everything policy exceeds 40 GB at D=1 (§5.5).
+			v, oom, err := scalingRow(scheme, devices, 16/d, 2)
+			if err != nil {
+				return err
+			}
+			if oom {
+				cells = append(cells, "OOM")
+				thr = append(thr, 0)
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+			thr = append(thr, v)
+		}
+		speed := "-"
+		if thr[0] > 0 && thr[2] > 0 {
+			speed = fmt.Sprintf("%.1f%%", stats.StrongScalingSpeedup(thr[0], thr[2]))
+		}
+		fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n",
+			displayName(scheme), cells[0], cells[1], cells[2], speed)
+	}
+	fmt.Fprintln(w, "\nshape: the big fixed batch OOMs GPipe at 8 devices (the paper additionally")
+	fmt.Fprintln(w, "       saw DAPPLE OOM — an allocator-level effect our byte model does not")
+	fmt.Fprintln(w, "       reproduce); Hanayo is fastest and speedup is near-linear in devices")
+	return nil
+}

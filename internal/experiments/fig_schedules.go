@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("fig03", "Synchronous pipeline schedules and their peak memory", fig03)
+	register("fig05", "Chimera → two one-wave pipelines transformation", fig05)
+	register("fig06", "Scaling Hanayo to more devices and waves", fig06)
+}
+
+// fig03 reproduces Fig 3: Gantt timelines for GPipe, DAPPLE, Chimera,
+// Hanayo(1 wave) and Hanayo(2 waves) on 4 devices with 4 micro-batches,
+// plus the per-device peak Mw/Ma unit counts drawn under each subfigure.
+func fig03(w io.Writer) error {
+	fmt.Fprintln(w, trace.Legend())
+	type cfg struct {
+		name  string
+		build func() (*sched.Schedule, error)
+	}
+	cases := []cfg{
+		{"(a) GPipe", func() (*sched.Schedule, error) { return sched.GPipe(4, 4) }},
+		{"(b) DAPPLE", func() (*sched.Schedule, error) { return sched.DAPPLE(4, 4) }},
+		{"(c) Chimera", func() (*sched.Schedule, error) { return sched.Chimera(4, 4) }},
+		{"(d) Hanayo 1 wave", func() (*sched.Schedule, error) { return sched.Hanayo(4, 1, 4) }},
+		{"(e) Hanayo 2 waves", func() (*sched.Schedule, error) { return sched.Hanayo(4, 2, 4) }},
+	}
+	for _, c := range cases {
+		s, err := c.build()
+		if err != nil {
+			return err
+		}
+		per := float64(s.S) / float64(s.P)
+		r, err := sim.Run(s, costmodel.Uniform{Tf: 1 / per, Tb: 2 / per}, sim.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s\n", c.name)
+		trace.Gantt(w, r, 96)
+		// Memory units: Mw = weight chunks per device × replica factor,
+		// Ma = peak live activations (stage units, normalized per device
+		// slice like the figure's unit blocks).
+		fmt.Fprintf(w, "  Mw units/device: %d (replicas=%d)  Ma peak units: %v\n",
+			len(s.Mapping.Hosted(0))*1, s.Mapping.WeightReplicas, r.PeakActs)
+	}
+	return nil
+}
+
+// fig05 reproduces Fig 5: a 4-stage Chimera pipeline transforms into two
+// one-wave 2-device pipelines (DP=2) with identical per-device work and no
+// slower makespan — the communication at the turn disappears.
+func fig05(w io.Writer) error {
+	cost := costmodel.Uniform{Tf: 1, Tb: 2, Tc: 0.1}
+	ch, err := sched.Chimera(4, 4)
+	if err != nil {
+		return err
+	}
+	rch, err := sim.Run(ch, cost, sim.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	hw, err := sched.Hanayo(2, 1, 2) // one of the two DP replicas
+	if err != nil {
+		return err
+	}
+	rhw, err := sim.Run(hw, cost, sim.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "before: Chimera, 4 stages, 4 devices, 4 micro-batches")
+	trace.Gantt(w, rch, 80)
+	fmt.Fprintln(w, "\nafter: 2 × (one-wave pipeline, 2 devices, 2 micro-batches) as DP=2")
+	trace.Gantt(w, rhw, 80)
+	fmt.Fprintf(w, "\nmakespan: chimera=%.3f wave=%.3f (wave must not be slower)\n", rch.Makespan, rhw.Makespan)
+	fmt.Fprintf(w, "P2P transfers per replica: chimera=%d wave=%d (turn communication removed)\n",
+		ch.CountKind(sched.OpSendAct)+ch.CountKind(sched.OpSendGrad),
+		2*(hw.CountKind(sched.OpSendAct)+hw.CountKind(sched.OpSendGrad)))
+	return nil
+}
+
+// fig06 reproduces Fig 6: Hanayo with 2 waves on 8 devices, and 2 vs 4
+// waves on 4 devices — the bubbles halve as the waves double.
+func fig06(w io.Writer) error {
+	show := func(p, wv, b int) error {
+		s, err := sched.Hanayo(p, wv, b)
+		if err != nil {
+			return err
+		}
+		per := float64(s.S) / float64(s.P)
+		r, err := sim.Run(s, costmodel.Uniform{Tf: 1 / per, Tb: 2 / per}, sim.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		trace.Gantt(w, r, 96)
+		fmt.Fprintln(w)
+		return nil
+	}
+	fmt.Fprintln(w, "(a) wave=2, devices=8, micro-batches=8")
+	if err := show(8, 2, 8); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "(b) wave=2 and wave=4, devices=4, micro-batches=4")
+	if err := show(4, 2, 4); err != nil {
+		return err
+	}
+	return show(4, 4, 4)
+}

@@ -1,0 +1,218 @@
+// Package memmodel estimates per-device peak GPU memory for a schedule:
+// weight/optimizer state from the placement (Chimera's 2× replication vs.
+// the single copy of wave placements) plus live activations from the
+// simulator's peak counts. It powers the paper's Fig 8 distribution, the
+// OOM entries of Fig 10/12, and feasibility checks in the autotuner.
+package memmodel
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/sched"
+)
+
+// BytesPerParam is the mixed-precision training footprint per parameter:
+// fp16 weight (2) + fp16 gradient (2) + fp32 master copy (4) + fp32 Adam
+// first and second moments (8) = 16 bytes.
+const BytesPerParam = 16.0
+
+// OptimizerBytesPerParam is the slice of BytesPerParam that is optimizer
+// state (master copy + Adam moments), shardable across data-parallel
+// replicas under ZeRO stage 1 (paper §6 lists ZeRO as combinable with
+// pipeline parallelism).
+const OptimizerBytesPerParam = 12.0
+
+// ZeROBytesPerParam returns the per-parameter footprint when optimizer
+// state is sharded across dp replicas (dp ≤ 1 means no sharding).
+func ZeROBytesPerParam(dp int) float64 {
+	if dp <= 1 {
+		return BytesPerParam
+	}
+	return (BytesPerParam - OptimizerBytesPerParam) + OptimizerBytesPerParam/float64(dp)
+}
+
+// ParamsPerLayer counts one transformer block's parameters:
+// 4h² attention + 8h² MLP + biases and layernorms ≈ 12h² + 13h.
+func ParamsPerLayer(cfg nn.Config) float64 {
+	h := float64(cfg.Hidden)
+	return 12*h*h + 13*h
+}
+
+// EmbeddingParams counts token and position tables.
+func EmbeddingParams(cfg nn.Config) float64 {
+	return float64(cfg.Vocab+cfg.SeqLen) * float64(cfg.Hidden)
+}
+
+// LayerActBytes estimates the fp16 activation memory one transformer block
+// stores for one micro-batch (Korthikanti et al.'s sbh(34 + 5as/h) count):
+// 34·s·b·h for the dense parts plus 5·a·s²·b for attention matrices.
+func LayerActBytes(cfg nn.Config, rows int) float64 {
+	s, b, h, a := float64(cfg.SeqLen), float64(rows), float64(cfg.Hidden), float64(cfg.Heads)
+	return 34*s*b*h + 5*a*s*s*b
+}
+
+// Estimate is the per-device memory breakdown for one schedule.
+type Estimate struct {
+	WeightBytes []float64 // per device: params + grads + optimizer state
+	ActBytes    []float64 // per device: peak live activations
+}
+
+// Total returns weight+activation bytes per device.
+func (e *Estimate) Total() []float64 {
+	out := make([]float64, len(e.WeightBytes))
+	for i := range out {
+		out[i] = e.WeightBytes[i] + e.ActBytes[i]
+	}
+	return out
+}
+
+// PeakGB converts a device's total to gigabytes.
+func (e *Estimate) PeakGB(d int) float64 { return (e.WeightBytes[d] + e.ActBytes[d]) / 1e9 }
+
+// MaxGB returns the highest per-device total in GB — the number that
+// decides whether a scheme fits a cluster (paper §5.1).
+func (e *Estimate) MaxGB() float64 {
+	m := 0.0
+	for i := range e.WeightBytes {
+		if t := e.PeakGB(i); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// VarianceGB returns the variance of per-device totals in GB², the
+// balance metric of §5.1.
+func (e *Estimate) VarianceGB() float64 {
+	n := float64(len(e.WeightBytes))
+	var mean float64
+	for i := range e.WeightBytes {
+		mean += e.PeakGB(i)
+	}
+	mean /= n
+	var v float64
+	for i := range e.WeightBytes {
+		d := e.PeakGB(i) - mean
+		v += d * d
+	}
+	return v / n
+}
+
+// ForSchedule estimates memory for schedule sc with model cfg and rows
+// sequences per micro-batch. peakActs is the per-device peak count of live
+// stage-activations (from sim.Result.PeakActs, or an analytic bound).
+func ForSchedule(sc *sched.Schedule, cfg nn.Config, rows int, peakActs []int) *Estimate {
+	return ForScheduleOpts(sc, cfg, rows, peakActs, Options{})
+}
+
+// Options tunes the memory estimate with the paper's §6 combinable
+// techniques.
+type Options struct {
+	// ZeRODP shards optimizer state across this many data-parallel
+	// replicas (ZeRO stage 1); ≤1 disables sharding.
+	ZeRODP int
+	// Checkpoint models per-block activation checkpointing: only the
+	// block boundary tensor (2·s·b·h fp16 bytes) stays resident per live
+	// activation, internals are recomputed in backward.
+	Checkpoint bool
+}
+
+// ForScheduleOpts is ForSchedule with explicit Options.
+func ForScheduleOpts(sc *sched.Schedule, cfg nn.Config, rows int, peakActs []int, opt Options) *Estimate {
+	p := sc.P
+	layersPerStage := float64(cfg.Layers) / float64(sc.S)
+	stageParams := layersPerStage * ParamsPerLayer(cfg)
+	stageAct := layersPerStage * LayerActBytes(cfg, rows)
+	if opt.Checkpoint {
+		// One boundary tensor per layer instead of the full internals.
+		stageAct = layersPerStage * float64(cfg.SeqLen) * float64(rows) * float64(cfg.Hidden) * 2
+	}
+	bytesPerParam := ZeROBytesPerParam(opt.ZeRODP)
+	embedShare := EmbeddingParams(cfg) / float64(p) // spread across devices
+
+	e := &Estimate{
+		WeightBytes: make([]float64, p),
+		ActBytes:    make([]float64, p),
+	}
+	for d := 0; d < p; d++ {
+		chunks := float64(len(sc.Mapping.Hosted(d)))
+		e.WeightBytes[d] = (chunks*stageParams + embedShare) * bytesPerParam
+		acts := float64(peakActs[d])
+		e.ActBytes[d] = acts * stageAct
+	}
+	return e
+}
+
+// AnalyticPeakActs returns per-device peak live-activation counts without
+// running the simulator, using each scheme's steady-state bound (matching
+// the generator's in-flight caps): GPipe stores all B micro-batches on
+// every stage; DAPPLE stores P−s; Chimera ceil((P−depth)/2) per direction
+// with B/2 micros per pipe; the wave family ceil((S−s)/(2W)).
+func AnalyticPeakActs(sc *sched.Schedule) []int {
+	p := sc.P
+	out := make([]int, p)
+	for d := 0; d < p; d++ {
+		total := 0
+		for _, h := range sc.Mapping.Hosted(d) {
+			var cap, micros int
+			micros = sc.B
+			switch sc.Scheme {
+			case "gpipe":
+				cap = sc.B
+			case "dapple", "async-1f1b":
+				cap = p - h.Stage
+			case "chimera":
+				// Each direction carries half the micro-batches.
+				cap = max((p+1)/2, (p-chimeraDepth(p, d, h.Chunk)+1)/2)
+				micros = (sc.B + 1) / 2
+			default: // wave family
+				waves := sc.W
+				if waves <= 0 {
+					waves = 1
+				}
+				cap = max(p+1, (sc.S-h.Stage+2*waves-1)/(2*waves))
+			}
+			total += min(cap, micros)
+		}
+		out[d] = total
+	}
+	return out
+}
+
+func chimeraDepth(p, d, chunk int) int {
+	if chunk == 0 {
+		return d
+	}
+	return p - 1 - d
+}
+
+// FitsCluster reports whether every device's estimate fits its memory,
+// with a safety margin fraction (e.g. 0.9 uses 90% of HBM).
+func FitsCluster(e *Estimate, cl *cluster.Cluster, margin float64) bool {
+	for d := range e.WeightBytes {
+		if e.WeightBytes[d]+e.ActBytes[d] > cl.MemBytes(d%cl.N())*margin {
+			return false
+		}
+	}
+	return true
+}
+
+// ModelParams returns the full model parameter count.
+func ModelParams(cfg nn.Config) float64 {
+	return float64(cfg.Layers)*ParamsPerLayer(cfg) + EmbeddingParams(cfg) +
+		float64(cfg.Hidden)*float64(cfg.Vocab) // LM head
+}
+
+// ModelSizeGB returns the training-state footprint of the whole model.
+func ModelSizeGB(cfg nn.Config) float64 {
+	return ModelParams(cfg) * BytesPerParam / 1e9
+}
+
+// RequiredDevices returns the minimum pipeline depth so that weights alone
+// fit the device memory with the given margin.
+func RequiredDevices(cfg nn.Config, memGB, margin float64) int {
+	per := memGB * margin
+	return int(math.Ceil(ModelSizeGB(cfg) / per))
+}

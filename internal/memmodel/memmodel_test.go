@@ -1,0 +1,151 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+func mustSched(t *testing.T) func(s *sched.Schedule, err error) *sched.Schedule {
+	return func(s *sched.Schedule, err error) *sched.Schedule {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+func TestParamsPerLayerScale(t *testing.T) {
+	cfg := nn.BERTStyle()
+	got := ParamsPerLayer(cfg)
+	want := 12.0 * 2560 * 2560 // dominant term
+	if got < want || got > want*1.01 {
+		t.Fatalf("params per layer %g outside [%g, %g]", got, want, want*1.01)
+	}
+}
+
+func TestModelSizeBERT(t *testing.T) {
+	// 64 layers × 12·2560² ≈ 5.0B params → ~81 GB of training state.
+	gb := ModelSizeGB(nn.BERTStyle())
+	if gb < 70 || gb > 95 {
+		t.Fatalf("BERT-style model size %g GB outside expected band", gb)
+	}
+}
+
+func TestChimeraDoublesWeights(t *testing.T) {
+	cfg := nn.BERTStyle()
+	ch := mustSched(t)(sched.Chimera(8, 8))
+	hw := mustSched(t)(sched.Hanayo(8, 1, 8))
+	peakCh := AnalyticPeakActs(ch)
+	peakHw := AnalyticPeakActs(hw)
+	ech := ForSchedule(ch, cfg, 2, peakCh)
+	ehw := ForSchedule(hw, cfg, 2, peakHw)
+	// Chimera stores 2 model copies → roughly 2× weight bytes per device.
+	ratio := ech.WeightBytes[0] / ehw.WeightBytes[0]
+	if ratio < 1.7 || ratio > 2.1 {
+		t.Fatalf("chimera/hanayo weight ratio %g, want ≈2", ratio)
+	}
+}
+
+func TestGPipeActsDominateDAPPLE(t *testing.T) {
+	cfg := nn.BERTStyle()
+	g := mustSched(t)(sched.GPipe(8, 8))
+	d := mustSched(t)(sched.DAPPLE(8, 8))
+	eg := ForSchedule(g, cfg, 2, AnalyticPeakActs(g))
+	ed := ForSchedule(d, cfg, 2, AnalyticPeakActs(d))
+	// GPipe's last device stores B activations, DAPPLE's stores 1.
+	last := 7
+	if eg.ActBytes[last] <= ed.ActBytes[last] {
+		t.Fatalf("gpipe last-device acts %g not above dapple %g", eg.ActBytes[last], ed.ActBytes[last])
+	}
+	// And GPipe's max must be ≥ DAPPLE's max.
+	if eg.MaxGB() < ed.MaxGB() {
+		t.Fatalf("gpipe max %g below dapple max %g", eg.MaxGB(), ed.MaxGB())
+	}
+}
+
+func TestHanayoMoreBalancedThanDAPPLE(t *testing.T) {
+	cfg := nn.BERTStyle()
+	d := mustSched(t)(sched.DAPPLE(8, 8))
+	h := mustSched(t)(sched.Hanayo(8, 2, 8))
+	ed := ForSchedule(d, cfg, 2, AnalyticPeakActs(d))
+	eh := ForSchedule(h, cfg, 2, AnalyticPeakActs(h))
+	if eh.VarianceGB() >= ed.VarianceGB() {
+		t.Fatalf("hanayo variance %g not below dapple %g", eh.VarianceGB(), ed.VarianceGB())
+	}
+}
+
+func TestFitsCluster(t *testing.T) {
+	cfg := nn.BERTStyle()
+	s := mustSched(t)(sched.Hanayo(8, 2, 8))
+	e := ForSchedule(s, cfg, 2, AnalyticPeakActs(s))
+	big := cluster.FullNVLink(8) // 80 GB devices
+	if !FitsCluster(e, big, 0.95) {
+		t.Fatalf("BERT/8-way (max %.1f GB) should fit 80 GB devices", e.MaxGB())
+	}
+	small := cluster.Tencent(8) // 32 GB devices
+	gp := mustSched(t)(sched.GPipe(8, 8))
+	eg := ForSchedule(gp, cfg, 4, AnalyticPeakActs(gp))
+	if FitsCluster(eg, small, 0.95) {
+		t.Fatalf("GPipe with big batches (max %.1f GB) should OOM a 32 GB device", eg.MaxGB())
+	}
+}
+
+func TestAnalyticPeakActsBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := 2 + r.Intn(6)
+		b := 2 * (1 + r.Intn(4))
+		var s *sched.Schedule
+		var err error
+		switch r.Intn(3) {
+		case 0:
+			s, err = sched.GPipe(p, b)
+		case 1:
+			s, err = sched.DAPPLE(p, b)
+		default:
+			s, err = sched.Hanayo(p, 1+r.Intn(3), b)
+		}
+		if err != nil {
+			return false
+		}
+		peaks := AnalyticPeakActs(s)
+		for _, pk := range peaks {
+			// Never more than B per hosted chunk.
+			if pk < 1 || pk > b*len(s.Mapping.Hosted(0))*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredDevices(t *testing.T) {
+	cfg := nn.BERTStyle()
+	n := RequiredDevices(cfg, 40, 0.9)
+	if n < 2 || n > 8 {
+		t.Fatalf("required devices %d out of plausible band", n)
+	}
+}
+
+func TestEstimateTotals(t *testing.T) {
+	e := &Estimate{WeightBytes: []float64{1e9, 2e9}, ActBytes: []float64{1e9, 0}}
+	tot := e.Total()
+	if tot[0] != 2e9 || tot[1] != 2e9 {
+		t.Fatalf("totals %v", tot)
+	}
+	if e.MaxGB() != 2 {
+		t.Fatalf("max %g", e.MaxGB())
+	}
+	if e.VarianceGB() != 0 {
+		t.Fatalf("variance %g", e.VarianceGB())
+	}
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MultiHeadAttention is scaled dot-product attention with h heads over
+// hidden size d (d % h == 0). Causal masking makes it GPT-style; without it
+// the layer is BERT-style bidirectional.
+type MultiHeadAttention struct {
+	Hidden, Heads int
+	Causal        bool
+	QKV           *Linear // fused projection hidden -> 3*hidden
+	Proj          *Linear // output projection hidden -> hidden
+}
+
+// NewMultiHeadAttention builds the fused-QKV attention layer.
+func NewMultiHeadAttention(r *tensor.RNG, hidden, heads int, causal bool) *MultiHeadAttention {
+	if hidden%heads != 0 {
+		panic(fmt.Sprintf("nn: hidden %d not divisible by heads %d", hidden, heads))
+	}
+	return &MultiHeadAttention{
+		Hidden: hidden, Heads: heads, Causal: causal,
+		QKV:  NewLinear(r, hidden, 3*hidden),
+		Proj: NewLinear(r, hidden, hidden),
+	}
+}
+
+type mhaCtx struct {
+	qkvCtx  Ctx
+	projCtx Ctx
+	qkv     *tensor.Tensor   // [b,s,3h]
+	att     []*tensor.Tensor // per (batch,head) softmax matrices [s,s]
+	b, s    int
+}
+
+// head extracts head a of q/k/v part (part 0=q,1=k,2=v) for batch bi into a
+// contiguous [s,dh] matrix.
+func (m *MultiHeadAttention) head(qkv *tensor.Tensor, bi, part, a, s int) *tensor.Tensor {
+	dh := m.Hidden / m.Heads
+	out := tensor.New(s, dh)
+	w := 3 * m.Hidden
+	base := bi*s*w + part*m.Hidden + a*dh
+	for t := 0; t < s; t++ {
+		copy(out.Data[t*dh:(t+1)*dh], qkv.Data[base+t*w:base+t*w+dh])
+	}
+	return out
+}
+
+// addHead scatter-adds a [s,dh] gradient back into the fused layout.
+func (m *MultiHeadAttention) addHead(dst *tensor.Tensor, src *tensor.Tensor, bi, part, a, s int) {
+	dh := m.Hidden / m.Heads
+	w := 3 * m.Hidden
+	base := bi*s*w + part*m.Hidden + a*dh
+	for t := 0; t < s; t++ {
+		row := dst.Data[base+t*w : base+t*w+dh]
+		for j := 0; j < dh; j++ {
+			row[j] += src.Data[t*dh+j]
+		}
+	}
+}
+
+// Forward computes multi-head attention for x [b,s,h].
+func (m *MultiHeadAttention) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	if x.Rank() != 3 || x.Dim(-1) != m.Hidden {
+		panic(fmt.Sprintf("nn: attention wants [b,s,%d], got %v", m.Hidden, x.Shape))
+	}
+	b, s := x.Shape[0], x.Shape[1]
+	dh := m.Hidden / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	qkv, qkvCtx := m.QKV.Forward(x)
+	concat := tensor.New(b, s, m.Hidden)
+	atts := make([]*tensor.Tensor, b*m.Heads)
+	for bi := 0; bi < b; bi++ {
+		for a := 0; a < m.Heads; a++ {
+			q := m.head(qkv, bi, 0, a, s)
+			k := m.head(qkv, bi, 1, a, s)
+			v := m.head(qkv, bi, 2, a, s)
+			scores := tensor.MatMulT(q, k) // [s,s]
+			tensor.ScaleInPlace(scores, scale)
+			if m.Causal {
+				for i := 0; i < s; i++ {
+					for j := i + 1; j < s; j++ {
+						scores.Data[i*s+j] = -1e9
+					}
+				}
+			}
+			att := tensor.SoftmaxLastDim(scores)
+			atts[bi*m.Heads+a] = att
+			out := tensor.MatMul(att, v) // [s,dh]
+			// Write out into the concat buffer at head offset a.
+			for t := 0; t < s; t++ {
+				copy(concat.Data[bi*s*m.Hidden+t*m.Hidden+a*dh:bi*s*m.Hidden+t*m.Hidden+(a+1)*dh],
+					out.Data[t*dh:(t+1)*dh])
+			}
+		}
+	}
+	y, projCtx := m.Proj.Forward(concat)
+	return y, &mhaCtx{qkvCtx: qkvCtx, projCtx: projCtx, qkv: qkv, att: atts, b: b, s: s}
+}
+
+// Backward propagates through projection, attention weights and the fused
+// QKV projection.
+func (m *MultiHeadAttention) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(*mhaCtx)
+	b, s := c.b, c.s
+	dh := m.Hidden / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dConcat := m.Proj.Backward(c.projCtx, dy) // [b,s,h]
+	dQKV := tensor.New(b, s, 3*m.Hidden)
+	for bi := 0; bi < b; bi++ {
+		for a := 0; a < m.Heads; a++ {
+			// Gather this head's slice of dConcat into [s,dh].
+			dOut := tensor.New(s, dh)
+			for t := 0; t < s; t++ {
+				copy(dOut.Data[t*dh:(t+1)*dh],
+					dConcat.Data[bi*s*m.Hidden+t*m.Hidden+a*dh:bi*s*m.Hidden+t*m.Hidden+(a+1)*dh])
+			}
+			q := m.head(c.qkv, bi, 0, a, s)
+			k := m.head(c.qkv, bi, 1, a, s)
+			v := m.head(c.qkv, bi, 2, a, s)
+			att := c.att[bi*m.Heads+a]
+
+			dAtt := tensor.MatMulT(dOut, v) // dOut·vᵀ : [s,s]
+			dV := tensor.TMatMul(att, dOut) // attᵀ·dOut : [s,dh]
+			dScores := tensor.SoftmaxBackwardLastDim(att, dAtt)
+			if m.Causal {
+				for i := 0; i < s; i++ {
+					for j := i + 1; j < s; j++ {
+						dScores.Data[i*s+j] = 0
+					}
+				}
+			}
+			tensor.ScaleInPlace(dScores, scale)
+			dQ := tensor.MatMul(dScores, k)  // [s,dh]
+			dK := tensor.TMatMul(dScores, q) // scoresᵀ·q : [s,dh]
+
+			m.addHead(dQKV, dQ, bi, 0, a, s)
+			m.addHead(dQKV, dK, bi, 1, a, s)
+			m.addHead(dQKV, dV, bi, 2, a, s)
+		}
+	}
+	return m.QKV.Backward(c.qkvCtx, dQKV)
+}
+
+// Params returns the QKV and projection parameters.
+func (m *MultiHeadAttention) Params() []*Param {
+	return append(m.QKV.Params(), m.Proj.Params()...)
+}

@@ -1,0 +1,43 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Checkpoint wraps a layer with activation checkpointing (Chen et al.,
+// paper §6 lists it as combinable with pipeline parallelism): Forward keeps
+// only the input; Backward recomputes the inner forward to rebuild the
+// saved activations before differentiating. Memory per in-flight
+// micro-batch drops from the layer's full activation set to one boundary
+// tensor, at the price of one extra forward pass.
+type Checkpoint struct{ Inner Layer }
+
+// NewCheckpoint wraps inner with recompute-in-backward semantics.
+func NewCheckpoint(inner Layer) *Checkpoint { return &Checkpoint{Inner: inner} }
+
+type checkpointCtx struct{ x *tensor.Tensor }
+
+// Forward runs the inner layer but discards its context, keeping only x.
+func (c *Checkpoint) Forward(x *tensor.Tensor) (*tensor.Tensor, Ctx) {
+	y, _ := c.Inner.Forward(x)
+	return y, &checkpointCtx{x: x}
+}
+
+// Backward recomputes the inner forward from the stored input, then runs
+// the inner backward with the fresh context.
+func (c *Checkpoint) Backward(ctx Ctx, dy *tensor.Tensor) *tensor.Tensor {
+	cc := ctx.(*checkpointCtx)
+	_, inner := c.Inner.Forward(cc.x)
+	return c.Inner.Backward(inner, dy)
+}
+
+// Params returns the inner layer's parameters.
+func (c *Checkpoint) Params() []*Param { return c.Inner.Params() }
+
+// CheckpointModel wraps every unit of a model in Checkpoint (the common
+// "checkpoint each transformer block" configuration).
+func CheckpointModel(m *Model) *Model {
+	units := make([]Layer, len(m.Units))
+	for i, u := range m.Units {
+		units[i] = NewCheckpoint(u)
+	}
+	return &Model{Config: m.Config, Units: units}
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCheckpointMatchesPlainLayer(t *testing.T) {
+	r := tensor.NewRNG(30)
+	cfg := Tiny(1, 8, 2, 16, 4, true)
+	plain := NewBlock(r, cfg)
+	ckpt := NewCheckpoint(NewBlock(tensor.NewRNG(30), cfg)) // same init
+
+	x := tensor.Randn(tensor.NewRNG(31), 0.5, 1, 3, 8)
+	dy := tensor.Randn(tensor.NewRNG(32), 1, 1, 3, 8)
+
+	y1, c1 := plain.Forward(x)
+	dx1 := plain.Backward(c1, dy)
+	y2, c2 := ckpt.Forward(x)
+	dx2 := ckpt.Backward(c2, dy)
+
+	if d := tensor.MaxAbsDiff(y1, y2); d != 0 {
+		t.Fatalf("forward diff %g", d)
+	}
+	if d := tensor.MaxAbsDiff(dx1, dx2); d > 1e-6 {
+		t.Fatalf("input grad diff %g", d)
+	}
+	p1, p2 := plain.Params(), ckpt.Params()
+	for i := range p1 {
+		if d := tensor.MaxAbsDiff(p1[i].G, p2[i].G); d > 1e-6 {
+			t.Fatalf("param %d grad diff %g", i, d)
+		}
+	}
+}
+
+func TestCheckpointModelTrains(t *testing.T) {
+	cfg := Tiny(2, 8, 2, 16, 4, true)
+	m := CheckpointModel(Build(tensor.NewRNG(33), cfg))
+	whole := NewSequential(m.Units...)
+	r := tensor.NewRNG(34)
+	ids := tensor.New(2, 4)
+	for i := range ids.Data {
+		ids.Data[i] = float32(r.Intn(cfg.Vocab))
+	}
+	targets := make([]int, 8)
+	for i := range targets {
+		targets[i] = r.Intn(cfg.Vocab)
+	}
+	opt := NewAdam(0.02)
+	var first, last float64
+	for it := 0; it < 20; it++ {
+		y, ctx := whole.Forward(ids)
+		loss, d := SoftmaxCrossEntropy(y, targets)
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+		whole.Backward(ctx, d)
+		opt.Step(whole.Params())
+	}
+	if last >= first {
+		t.Fatalf("checkpointed model did not learn: %g -> %g", first, last)
+	}
+}
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosine{Warmup: 10, Total: 110, MinFactor: 0.1}
+	if f := s.Factor(0); f <= 0 || f > 0.2 {
+		t.Fatalf("warmup start factor %g", f)
+	}
+	if f := s.Factor(9); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("end of warmup factor %g", f)
+	}
+	mid := s.Factor(60)
+	if mid >= 1 || mid <= 0.1 {
+		t.Fatalf("mid decay factor %g", mid)
+	}
+	if f := s.Factor(200); f != 0.1 {
+		t.Fatalf("post-total factor %g", f)
+	}
+	// Monotone decreasing after warmup.
+	prev := 2.0
+	for st := 10; st < 110; st += 10 {
+		f := s.Factor(st)
+		if f > prev {
+			t.Fatalf("not monotone at %d: %g > %g", st, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Every: 10, Gamma: 0.5}
+	if s.Factor(0) != 1 || s.Factor(9) != 1 {
+		t.Fatal("no decay before first boundary")
+	}
+	if s.Factor(10) != 0.5 || s.Factor(25) != 0.25 {
+		t.Fatalf("decay wrong: %g %g", s.Factor(10), s.Factor(25))
+	}
+	if (StepDecay{}).Factor(100) != 1 {
+		t.Fatal("zero Every must be identity")
+	}
+}
+
+func TestScheduledOptimizerAppliesFactor(t *testing.T) {
+	base := NewSGD(1.0, 0)
+	sched := NewScheduled(base, StepDecay{Every: 1, Gamma: 0.5})
+	p := newParam("p", tensor.Ones(1))
+	// Step 0: factor 1 → lr 1; step 1: factor 0.5.
+	p.G.Data[0] = 1
+	sched.Step([]*Param{p})
+	if math.Abs(float64(p.W.Data[0])-0) > 1e-6 {
+		t.Fatalf("after step0 w=%g want 0", p.W.Data[0])
+	}
+	p.G.Data[0] = 1
+	sched.Step([]*Param{p})
+	if math.Abs(float64(p.W.Data[0])+0.5) > 1e-6 {
+		t.Fatalf("after step1 w=%g want -0.5", p.W.Data[0])
+	}
+}
+
+func TestScheduledOptimizerRejectsUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduled(nopOptExtras{}, StepDecay{})
+}
+
+type nopOptExtras struct{}
+
+func (nopOptExtras) Step([]*Param) {}
+
+func TestLossScalerRoundTrip(t *testing.T) {
+	l := NewLossScaler()
+	g := tensor.Ones(4)
+	l.ScaleGrad(g)
+	if g.Data[0] != 16384 {
+		t.Fatalf("scaled grad %g", g.Data[0])
+	}
+	p := newParam("p", tensor.Ones(4))
+	p.G.CopyFrom(g)
+	if !l.UnscaleAndCheck([]*Param{p}) {
+		t.Fatal("finite grads flagged as overflow")
+	}
+	if p.G.Data[0] != 1 {
+		t.Fatalf("unscaled grad %g", p.G.Data[0])
+	}
+}
+
+func TestLossScalerOverflowHalves(t *testing.T) {
+	l := NewLossScaler()
+	p := newParam("p", tensor.Ones(1))
+	p.G.Data[0] = float32(math.Inf(1))
+	if l.UnscaleAndCheck([]*Param{p}) {
+		t.Fatal("overflow not detected")
+	}
+	before := l.Scale
+	l.Update(false)
+	if l.Scale != before/2 || l.SkippedSteps != 1 {
+		t.Fatalf("scale %g skipped %d", l.Scale, l.SkippedSteps)
+	}
+}
+
+func TestLossScalerGrowth(t *testing.T) {
+	l := NewLossScaler()
+	l.GrowthInterval = 3
+	before := l.Scale
+	for i := 0; i < 3; i++ {
+		l.Update(true)
+	}
+	if l.Scale != 2*before {
+		t.Fatalf("scale %g want %g", l.Scale, 2*before)
+	}
+}
+
+func TestGradAccumulatorAverages(t *testing.T) {
+	p := newParam("p", tensor.New(1))
+	var acc GradAccumulator
+	for i := 0; i < 4; i++ {
+		p.G.Data[0] += 2 // each micro-step contributes grad 2
+		acc.Add()
+	}
+	opt := NewSGD(1, 0)
+	acc.StepAndReset(opt, []*Param{p})
+	// Averaged grad = 2, lr = 1 → w = -2.
+	if math.Abs(float64(p.W.Data[0])+2) > 1e-6 {
+		t.Fatalf("w = %g want -2", p.W.Data[0])
+	}
+}

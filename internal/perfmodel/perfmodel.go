@@ -1,0 +1,111 @@
+// Package perfmodel implements the closed-form bubble-ratio and memory
+// formulas of the paper's §2.2/§3.4 (Fig 1 and Fig 2): GPipe, DAPPLE, GEMS,
+// Chimera with two replicas (K = P²/2 − P), and Hanayo's Eq. (1) with its
+// simplified form (2P−2)/(3PW+P−1). TF and TB follow the paper's Table 1
+// convention: the complete forward (resp. backward) pass time divided by P,
+// i.e. one device's slice.
+package perfmodel
+
+// Params are the analytic inputs shared by all formulas.
+type Params struct {
+	P  int     // devices / pipeline stages
+	B  int     // micro-batches per iteration
+	W  int     // waves (Hanayo only)
+	TF float64 // per-device forward slice time
+	TB float64 // per-device backward slice time
+	TC float64 // single P2P transfer time
+}
+
+// FigureOneDefaults returns the paper's Fig 1 assumptions: B = P micro-
+// batches, TB = 2·TF, negligible communication.
+func FigureOneDefaults(p, w int) Params {
+	return Params{P: p, B: p, W: w, TF: 1, TB: 2, TC: 0}
+}
+
+// GPipeBubble is the classic ratio: (P−1) slots of fill/drain out of
+// B + P − 1 total, with 2 transfers on each fill/drain hop.
+func GPipeBubble(a Params) float64 {
+	p, b := float64(a.P), float64(a.B)
+	bubble := (p - 1) * (a.TF + a.TB + 2*a.TC)
+	total := b*(a.TF+a.TB) + bubble
+	return bubble / total
+}
+
+// DAPPLEBubble: 1F1B re-orders the computation but keeps the same critical
+// path, so the analytic ratio matches GPipe (its win is memory).
+func DAPPLEBubble(a Params) float64 { return GPipeBubble(a) }
+
+// GEMSBubble models GEMS per the Chimera paper's analysis: at most two
+// micro-batches are active at a time, so only the first forward overlaps
+// and the remaining (B/2 − 1) pairs serialize.
+func GEMSBubble(a Params) float64 {
+	p, b := float64(a.P), float64(a.B)
+	bubble := (p - 1) * (a.TF + a.TB + 2*a.TC)
+	// GEMS drives the pipe with two model replicas; effective concurrent
+	// work is halved relative to a full 1F1B pipe.
+	total := b/2*(a.TF+a.TB) + bubble
+	return bubble / total
+}
+
+// ChimeraBubble is the bidirectional pipeline with two replicas: fill/drain
+// shrinks to P/2 − 1 slots, at the cost of K = P²/2 − P extra transfer
+// slots from cross-communication (paper Fig 2).
+func ChimeraBubble(a Params) float64 {
+	p, b := float64(a.P), float64(a.B)
+	k := p*p/2 - p
+	bubble := (p/2-1)*(a.TF+a.TB) + k*a.TC/p
+	total := b*(a.TF+a.TB) + bubble
+	return bubble / total
+}
+
+// HanayoBubble is the paper's Eq. (1):
+//
+//	        TB/W + (1 + 2W + 2/P + (P−2)/3)·TC
+//	-------------------------------------------------------
+//	P/(P−1)·TF + (1/(2W) + P/(P−1))·TB + ((P−2)/2 + 4W)·TC
+func HanayoBubble(a Params) float64 {
+	p, w := float64(a.P), float64(a.W)
+	num := a.TB/w + (1+2*w+2/p+(p-2)/3)*a.TC
+	den := p/(p-1)*a.TF + (1/(2*w)+p/(p-1))*a.TB + ((p-2)/2+4*w)*a.TC
+	return num / den
+}
+
+// HanayoIterTime is the denominator of Eq. (1) — the per-device iteration
+// time model. Unlike the bubble *ratio* (which treats communication as both
+// bubble and total time and therefore always falls with W), iteration time
+// regrows once the 4W·TC cross-communication term dominates the TB/(2W)
+// bubble saving. This is the quantity behind §5.2's observation that the
+// optimal wave count is lower on poorly interconnected clusters.
+func HanayoIterTime(a Params) float64 {
+	p, w := float64(a.P), float64(a.W)
+	return p/(p-1)*a.TF + (1/(2*w)+p/(p-1))*a.TB + ((p-2)/2+4*w)*a.TC
+}
+
+// HanayoBubbleSimplified is Eq. (1) under TB = 2TF, TC = 0:
+// (2P−2)/(3PW+P−1).
+func HanayoBubbleSimplified(p, w int) float64 {
+	pp, ww := float64(p), float64(w)
+	return (2*pp - 2) / (3*pp*ww + pp - 1)
+}
+
+// MemoryRow is one line of the paper's Fig 2 comparison: weight and
+// peak-activation consumption per device in units of Mw (one device's
+// weight slice) and Ma (one stage activation).
+type MemoryRow struct {
+	Scheme    string
+	WeightsMw float64 // per-device weights in Mw units
+	PeakActMa float64 // worst device's activations in Ma units
+	MinActMa  float64 // best device's activations in Ma units
+}
+
+// MemoryComparison reproduces Fig 2's memory columns for P devices and
+// B = P micro-batches.
+func MemoryComparison(p int, w int) []MemoryRow {
+	fp := float64(p)
+	return []MemoryRow{
+		{Scheme: "gpipe", WeightsMw: 1, PeakActMa: fp, MinActMa: fp},
+		{Scheme: "dapple", WeightsMw: 1, PeakActMa: fp, MinActMa: 1},
+		{Scheme: "chimera", WeightsMw: 2, PeakActMa: fp/2 + 1, MinActMa: fp / 2},
+		{Scheme: "hanayo", WeightsMw: 1, PeakActMa: fp, MinActMa: fp - 1},
+	}
+}

@@ -1,0 +1,145 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGPipeBubbleClassic(t *testing.T) {
+	// B = P, TB = 2TF, TC = 0 → (P−1)/(2P−1).
+	for _, p := range []int{4, 8, 32} {
+		got := GPipeBubble(FigureOneDefaults(p, 1))
+		want := float64(p-1) / float64(2*p-1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P=%d: %g want %g", p, got, want)
+		}
+	}
+}
+
+func TestHanayoSimplifiedMatchesEq1(t *testing.T) {
+	for _, p := range []int{4, 8, 32} {
+		for _, w := range []int{1, 2, 4, 8} {
+			a := FigureOneDefaults(p, w)
+			full := HanayoBubble(a)
+			simple := HanayoBubbleSimplified(p, w)
+			if math.Abs(full-simple) > 1e-9 {
+				t.Fatalf("P=%d W=%d: eq1 %g simplified %g", p, w, full, simple)
+			}
+		}
+	}
+}
+
+func TestHanayoBubbleDecreasesWithWaves(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 4 + int(seed%29)
+		prev := math.Inf(1)
+		for w := 1; w <= 8; w *= 2 {
+			b := HanayoBubble(FigureOneDefaults(p, w))
+			if b >= prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureOneOrdering(t *testing.T) {
+	// The bar ordering of Fig 1 at 8 and 32 devices:
+	// GEMS > GPipe ≈ DAPPLE > Chimera > Hanayo(2) > Hanayo(4).
+	for _, p := range []int{8, 32} {
+		gpipe := GPipeBubble(FigureOneDefaults(p, 1))
+		dapple := DAPPLEBubble(FigureOneDefaults(p, 1))
+		gems := GEMSBubble(FigureOneDefaults(p, 1))
+		chimera := ChimeraBubble(FigureOneDefaults(p, 1))
+		h2 := HanayoBubble(FigureOneDefaults(p, 2))
+		h4 := HanayoBubble(FigureOneDefaults(p, 4))
+		if !(gems > gpipe) {
+			t.Fatalf("P=%d: GEMS %g not above GPipe %g", p, gems, gpipe)
+		}
+		if gpipe != dapple {
+			t.Fatalf("P=%d: GPipe %g != DAPPLE %g", p, gpipe, dapple)
+		}
+		if !(gpipe > chimera) {
+			t.Fatalf("P=%d: GPipe %g not above Chimera %g", p, gpipe, chimera)
+		}
+		if !(chimera > h2 && h2 > h4) {
+			t.Fatalf("P=%d: chimera %g h2 %g h4 %g out of order", p, chimera, h2, h4)
+		}
+	}
+}
+
+func TestCommunicationRaisesHanayoBubble(t *testing.T) {
+	a := FigureOneDefaults(8, 2)
+	base := HanayoBubble(a)
+	a.TC = 0.2
+	withComm := HanayoBubble(a)
+	if withComm <= base {
+		t.Fatalf("TC did not raise bubble: %g vs %g", withComm, base)
+	}
+}
+
+func TestMoreWavesMoreCommSensitivity(t *testing.T) {
+	// §5.2: with expensive communication the gain from extra waves inverts
+	// — the TACC-vs-FC observation. Iteration time (Eq. 1 denominator)
+	// must fall with W when TC = 0 and regrow with W when TC is large.
+	mk := func(w int, tc float64) float64 {
+		a := FigureOneDefaults(8, w)
+		a.TC = tc
+		return HanayoIterTime(a)
+	}
+	if !(mk(8, 0) < mk(2, 0)) {
+		t.Fatal("with free comm, more waves must win on iteration time")
+	}
+	if !(mk(8, 0.5) > mk(2, 0.5)) {
+		t.Fatal("with expensive comm, W=8 must lose to W=2 on iteration time")
+	}
+}
+
+func TestBubblesAreRatios(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 2 + int(seed%31)
+		w := 1 + int(seed%4)
+		a := FigureOneDefaults(p, w)
+		a.TC = float64(seed%10) / 10
+		for _, v := range []float64{
+			GPipeBubble(a), DAPPLEBubble(a), GEMSBubble(a), ChimeraBubble(a), HanayoBubble(a),
+		} {
+			if v < 0 || v >= 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryComparison(t *testing.T) {
+	rows := MemoryComparison(8, 2)
+	byName := map[string]MemoryRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	if byName["chimera"].WeightsMw != 2 {
+		t.Fatal("chimera must store two weight copies")
+	}
+	for _, s := range []string{"gpipe", "dapple", "hanayo"} {
+		if byName[s].WeightsMw != 1 {
+			t.Fatalf("%s weights %g want 1", s, byName[s].WeightsMw)
+		}
+	}
+	// GPipe stores every micro-batch; DAPPLE's worst device matches it.
+	if byName["gpipe"].PeakActMa != 8 || byName["dapple"].PeakActMa != 8 {
+		t.Fatal("peak activation units wrong")
+	}
+	// DAPPLE is unbalanced (min 1), Hanayo is balanced (min P−1).
+	if byName["dapple"].MinActMa != 1 || byName["hanayo"].MinActMa != 7 {
+		t.Fatal("activation balance wrong")
+	}
+}

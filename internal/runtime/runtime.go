@@ -1,0 +1,398 @@
+// Package runtime is Hanayo's pipeline execution engine (paper §4): it
+// interprets the per-device action lists over real transformer stages, with
+// one goroutine per (replica, device), the comm router as transport, data
+// parallel gradient all-reduce at the flush, and an optimizer step. It is
+// the correctness executor: tests prove that every schedule trains with
+// gradients numerically equal to a serial single-device reference.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// Config assembles an engine.
+type Config struct {
+	Schedule *sched.Schedule
+	Model    nn.Config
+	DP       int    // data-parallel replicas (≥1)
+	Seed     uint64 // model init seed (identical across replicas)
+	// NewOptimizer builds one optimizer per replica; nil means SGD(0.1).
+	NewOptimizer func() nn.Optimizer
+	// Checkpoint enables activation checkpointing on every model unit
+	// (paper §6's combinable memory-saving technique): stages keep only
+	// boundary tensors and recompute internals during backward.
+	Checkpoint bool
+}
+
+// replica is one pipeline's worth of model state.
+type replica struct {
+	// stageInst[copy][stage] — wave-family placements use one copy;
+	// Chimera uses two (its duplicated weights).
+	stageInst [][]*nn.Stage
+	router    *comm.Router
+	opt       nn.Optimizer
+	micros    []*data.Batch
+	lossSum   float64
+	lossMu    sync.Mutex
+}
+
+// Engine executes training iterations under a schedule.
+type Engine struct {
+	cfg      Config
+	sch      *sched.Schedule
+	replicas []*replica
+	copies   int // weight copies per replica (1, or 2 for Chimera)
+}
+
+// New validates the configuration and builds the engine. The real runtime
+// requires the model to have at least S partitionable units (unlike the
+// simulator, which may use fractional stages).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("runtime: nil schedule")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DP < 1 {
+		return nil, fmt.Errorf("runtime: DP must be ≥ 1, got %d", cfg.DP)
+	}
+	if err := sched.Validate(cfg.Schedule); err != nil {
+		return nil, fmt.Errorf("runtime: schedule invalid: %w", err)
+	}
+	units := cfg.Model.Layers + 2
+	if cfg.Schedule.S > units {
+		return nil, fmt.Errorf("runtime: schedule needs %d stages but model %q has only %d units",
+			cfg.Schedule.S, cfg.Model.Name, units)
+	}
+	copies := cfg.Schedule.Mapping.WeightReplicas
+	e := &Engine{cfg: cfg, sch: cfg.Schedule, copies: copies}
+	for r := 0; r < cfg.DP; r++ {
+		rep := &replica{router: comm.NewRouter()}
+		for c := 0; c < copies; c++ {
+			// Same seed everywhere: replicas and copies start identical.
+			m := nn.Build(tensor.NewRNG(cfg.Seed), cfg.Model)
+			if cfg.Checkpoint {
+				m = nn.CheckpointModel(m)
+			}
+			rep.stageInst = append(rep.stageInst, m.Split(cfg.Schedule.S))
+		}
+		if cfg.NewOptimizer != nil {
+			rep.opt = cfg.NewOptimizer()
+		} else {
+			rep.opt = nn.NewSGD(0.1, 0)
+		}
+		e.replicas = append(e.replicas, rep)
+	}
+	return e, nil
+}
+
+// Schedule returns the engine's schedule.
+func (e *Engine) Schedule() *sched.Schedule { return e.sch }
+
+// Params returns replica 0's canonical parameters (all copies).
+func (e *Engine) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, stages := range e.replicas[0].stageInst {
+		for _, st := range stages {
+			ps = append(ps, st.Params()...)
+		}
+	}
+	return ps
+}
+
+// paramsOf flattens one replica's parameters aligned with Params().
+func paramsOf(rep *replica) []*nn.Param {
+	var ps []*nn.Param
+	for _, stages := range rep.stageInst {
+		for _, st := range stages {
+			ps = append(ps, st.Params()...)
+		}
+	}
+	return ps
+}
+
+// stageFor resolves the stage instance a worker action should use: the
+// chunk's copy is derived from the mapping (Chimera's up-pipe micros use
+// copy 1; single-copy placements always use copy 0).
+func (e *Engine) stageFor(rep *replica, micro, stage int) *nn.Stage {
+	copyIdx := 0
+	if e.copies == 2 {
+		copyIdx = e.sch.Mapping.Chunk(micro, stage)
+	}
+	return rep.stageInst[copyIdx][stage]
+}
+
+// actKey indexes saved per-micro activations.
+type actKey struct {
+	micro, stage int
+}
+
+type actRecord struct {
+	in  *tensor.Tensor
+	out *tensor.Tensor
+	ctx nn.Ctx
+}
+
+// worker executes one device's action list for one replica.
+type worker struct {
+	eng    *Engine
+	rep    *replica
+	device int
+	acts   map[actKey]*actRecord
+	dIn    map[actKey]*tensor.Tensor // input gradients produced by backward
+	scale  float32                   // loss scaling: 1/(B·DP)
+
+	// Live boundary-activation accounting (stage outputs held between a
+	// forward and its backward), mirroring the simulator's PeakActs but
+	// measured on the real tensors.
+	liveBytes int64
+	peakBytes int64
+}
+
+func (w *worker) holdActivation(t *tensor.Tensor) {
+	w.liveBytes += t.NumBytes()
+	if w.liveBytes > w.peakBytes {
+		w.peakBytes = w.liveBytes
+	}
+}
+
+func (w *worker) releaseActivation(t *tensor.Tensor) {
+	if t != nil {
+		w.liveBytes -= t.NumBytes()
+	}
+}
+
+func (w *worker) tagAct(micro, stage, src, dst int) comm.Tag {
+	return comm.Tag{Kind: "act", Micro: micro, Stage: stage, Src: src, Dst: dst}
+}
+func (w *worker) tagGrad(micro, stage, src, dst int) comm.Tag {
+	return comm.Tag{Kind: "grad", Micro: micro, Stage: stage, Src: src, Dst: dst}
+}
+
+func (w *worker) run(list []sched.Action) error {
+	e := w.eng
+	for _, a := range list {
+		switch a.Kind {
+		case sched.OpRecvAct:
+			// Posted receive: Recv blocks until the payload arrives; the
+			// payload is stored as the pending input of (micro, stage).
+			x := w.rep.router.Recv(w.tagAct(a.Micro, a.Stage, a.Peer, w.device))
+			w.acts[actKey{a.Micro, a.Stage}] = &actRecord{in: x}
+
+		case sched.OpForward:
+			key := actKey{a.Micro, a.Stage}
+			rec := w.acts[key]
+			if rec == nil {
+				rec = &actRecord{}
+				w.acts[key] = rec
+			}
+			if rec.in == nil {
+				if a.Stage == 0 {
+					rec.in = w.rep.micros[a.Micro].Inputs
+				} else {
+					prev := w.acts[actKey{a.Micro, a.Stage - 1}]
+					if prev == nil || prev.out == nil {
+						return fmt.Errorf("runtime: device %d: missing local input for %v", w.device, a)
+					}
+					rec.in = prev.out
+				}
+			}
+			st := e.stageFor(w.rep, a.Micro, a.Stage)
+			rec.out, rec.ctx = st.Forward(rec.in)
+			w.holdActivation(rec.out)
+
+		case sched.OpSendAct:
+			// Payload: output of the previous stage (produced locally).
+			prev := w.acts[actKey{a.Micro, a.Stage - 1}]
+			if prev == nil || prev.out == nil {
+				return fmt.Errorf("runtime: device %d: nothing to send for %v", w.device, a)
+			}
+			w.rep.router.Send(w.tagAct(a.Micro, a.Stage, w.device, a.Peer), prev.out)
+
+		case sched.OpRecvGrad:
+			g := w.rep.router.Recv(w.tagGrad(a.Micro, a.Stage, a.Peer, w.device))
+			w.dIn[actKey{a.Micro, a.Stage + 1}] = g // gradient w.r.t. stage's output
+
+		case sched.OpBackward:
+			key := actKey{a.Micro, a.Stage}
+			rec := w.acts[key]
+			if rec == nil || rec.ctx == nil {
+				return fmt.Errorf("runtime: device %d: backward before forward for %v", w.device, a)
+			}
+			var dy *tensor.Tensor
+			if a.Stage == e.sch.S-1 {
+				micro := w.rep.micros[a.Micro]
+				loss, d := nn.SoftmaxCrossEntropy(rec.out, micro.Targets)
+				tensor.ScaleInPlace(d, w.scale)
+				w.rep.lossMu.Lock()
+				w.rep.lossSum += loss
+				w.rep.lossMu.Unlock()
+				dy = d
+			} else if g := w.dIn[actKey{a.Micro, a.Stage + 1}]; g != nil {
+				// Either received from the peer or produced locally by the
+				// successor stage's backward on this same device.
+				dy = g
+				delete(w.dIn, actKey{a.Micro, a.Stage + 1})
+			} else {
+				return fmt.Errorf("runtime: device %d: missing output grad for %v", w.device, a)
+			}
+			st := e.stageFor(w.rep, a.Micro, a.Stage)
+			dx := st.Backward(rec.ctx, dy)
+			w.dIn[actKey{a.Micro, a.Stage}] = dx
+			// Free the stored activations: the paper's eager consumption.
+			w.releaseActivation(rec.out)
+			delete(w.acts, key)
+
+		case sched.OpSendGrad:
+			g := w.dIn[actKey{a.Micro, a.Stage + 1}]
+			if g == nil {
+				return fmt.Errorf("runtime: device %d: no grad payload for %v", w.device, a)
+			}
+			w.rep.router.Send(w.tagGrad(a.Micro, a.Stage, w.device, a.Peer), g)
+			delete(w.dIn, actKey{a.Micro, a.Stage + 1})
+
+		case sched.OpAllReduce, sched.OpOptimStep:
+			// Handled by the engine after all workers join the flush.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Result reports one training iteration.
+type Result struct {
+	Loss      float64 // mean loss over all replicas' micro-batches
+	CommStats []comm.Stats
+	// PeakActBytes is the peak live boundary-activation footprint per
+	// device (max over replicas) — the runtime counterpart of the
+	// simulator's PeakActs.
+	PeakActBytes []int64
+}
+
+// Step runs one synchronous training iteration on batch. The batch is
+// split into DP·B micro-batches: replica r takes micros r·B … (r+1)·B−1.
+func (e *Engine) Step(batch *data.Batch) (*Result, error) {
+	b := e.sch.B
+	micros := data.SplitMicro(batch, b*e.cfg.DP)
+	var wg sync.WaitGroup
+	errs := make(chan error, e.cfg.DP*e.sch.P)
+	peaks := make([]int64, e.cfg.DP*e.sch.P)
+	for ri, rep := range e.replicas {
+		rep.micros = micros[ri*b : (ri+1)*b]
+		rep.lossSum = 0
+		for d := 0; d < e.sch.P; d++ {
+			wg.Add(1)
+			go func(ri int, rep *replica, d int) {
+				defer wg.Done()
+				w := &worker{
+					eng:    e,
+					rep:    rep,
+					device: d,
+					acts:   map[actKey]*actRecord{},
+					dIn:    map[actKey]*tensor.Tensor{},
+					scale:  1 / float32(b*e.cfg.DP),
+				}
+				if err := w.run(e.sch.Lists[d]); err != nil {
+					errs <- err
+				}
+				peaks[ri*e.sch.P+d] = w.peakBytes
+			}(ri, rep, d)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	// Flush: all-reduce gradients across replicas and weight copies, then
+	// step every replica's optimizer identically.
+	if err := e.allReduce(); err != nil {
+		return nil, err
+	}
+	for _, rep := range e.replicas {
+		rep.opt.Step(paramsOf(rep))
+	}
+
+	res := &Result{PeakActBytes: make([]int64, e.sch.P)}
+	for ri, rep := range e.replicas {
+		res.Loss += rep.lossSum
+		res.CommStats = append(res.CommStats, rep.router.Stats())
+		if err := rep.router.Reset(); err != nil {
+			return nil, err
+		}
+		for d := 0; d < e.sch.P; d++ {
+			if pk := peaks[ri*e.sch.P+d]; pk > res.PeakActBytes[d] {
+				res.PeakActBytes[d] = pk
+			}
+		}
+	}
+	res.Loss /= float64(b * e.cfg.DP)
+	return res, nil
+}
+
+// allReduce sums gradients (a) across Chimera's two weight copies within
+// each replica and (b) across data-parallel replicas, leaving every aligned
+// parameter with the identical total-batch gradient. Loss scaling already
+// divided by B·DP, so the sum is the batch-mean gradient.
+func (e *Engine) allReduce() error {
+	// (a) Within-replica copy reduction (Chimera).
+	if e.copies == 2 {
+		for _, rep := range e.replicas {
+			a, b := rep.stageInst[0], rep.stageInst[1]
+			for s := range a {
+				pa, pb := a[s].Params(), b[s].Params()
+				if len(pa) != len(pb) {
+					return fmt.Errorf("runtime: copy param mismatch at stage %d", s)
+				}
+				for i := range pa {
+					tensor.AxpyInPlace(pa[i].G, 1, pb[i].G)
+					pb[i].G.CopyFrom(pa[i].G)
+				}
+			}
+		}
+	}
+	// (b) Cross-replica reduction.
+	if e.cfg.DP > 1 {
+		base := paramsOf(e.replicas[0])
+		for _, rep := range e.replicas[1:] {
+			ps := paramsOf(rep)
+			if len(ps) != len(base) {
+				return fmt.Errorf("runtime: replica param mismatch")
+			}
+			for i := range base {
+				tensor.AxpyInPlace(base[i].G, 1, ps[i].G)
+			}
+		}
+		for _, rep := range e.replicas[1:] {
+			ps := paramsOf(rep)
+			for i := range base {
+				ps[i].G.CopyFrom(base[i].G)
+			}
+		}
+	}
+	return nil
+}
+
+// Train runs iters steps over batches from gen, returning per-iteration
+// losses. rows is the total batch rows per iteration (must split into
+// DP·B micro-batches).
+func (e *Engine) Train(gen *data.Generator, rows, iters int) ([]float64, error) {
+	losses := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		res, err := e.Step(gen.Next(rows))
+		if err != nil {
+			return losses, err
+		}
+		losses = append(losses, res.Loss)
+	}
+	return losses, nil
+}

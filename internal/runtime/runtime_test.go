@@ -1,0 +1,288 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// tinyCfg has 14 blocks (16 units) so it can be cut into up to 16 stages —
+// enough for Hanayo W=2 on 4 devices.
+func tinyCfg() nn.Config { return nn.Tiny(14, 8, 2, 16, 4, true) }
+
+// nopOpt keeps gradients intact so tests can inspect them after Step.
+type nopOpt struct{}
+
+func (nopOpt) Step([]*nn.Param) {}
+
+// serialGrads runs the reference: the full model on one device, every
+// micro-batch in sequence, gradients scaled exactly like the engine
+// (1/(B·DP) on the loss gradient).
+func serialGrads(t *testing.T, cfg nn.Config, seed uint64, micros []*data.Batch) ([]*nn.Param, float64) {
+	t.Helper()
+	m := nn.Build(tensor.NewRNG(seed), cfg)
+	whole := nn.NewSequential(m.Units...)
+	scale := 1 / float32(len(micros))
+	var lossSum float64
+	for _, mb := range micros {
+		y, ctx := whole.Forward(mb.Inputs)
+		loss, d := nn.SoftmaxCrossEntropy(y, mb.Targets)
+		lossSum += loss
+		tensor.ScaleInPlace(d, scale)
+		whole.Backward(ctx, d)
+	}
+	return whole.Params(), lossSum / float64(len(micros))
+}
+
+// checkSchemeMatchesSerial is the core equivalence test: an engine running
+// the given schedule must produce the same loss and parameter gradients as
+// the serial reference, for any scheme.
+func checkSchemeMatchesSerial(t *testing.T, s *sched.Schedule, dp int) {
+	t.Helper()
+	cfg := tinyCfg()
+	const seed = 42
+	eng, err := New(Config{
+		Schedule:     s,
+		Model:        cfg,
+		DP:           dp,
+		Seed:         seed,
+		NewOptimizer: func() nn.Optimizer { return nopOpt{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := data.NewGenerator(7, cfg.Vocab, cfg.SeqLen)
+	rows := s.B * dp // one row per micro-batch
+	batch := gen.Next(rows)
+
+	res, err := eng.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	micros := data.SplitMicro(batch, s.B*dp)
+	refParams, refLoss := serialGrads(t, cfg, seed, micros)
+
+	if math.Abs(res.Loss-refLoss) > 1e-5 {
+		t.Fatalf("%s: loss %g vs serial %g", s.Scheme, res.Loss, refLoss)
+	}
+	got := eng.Params()
+	// For Chimera the engine param list is copy0 then copy1; both must
+	// match the serial reference after the copy all-reduce.
+	for c := 0; c < len(got)/len(refParams); c++ {
+		for i, ref := range refParams {
+			g := got[c*len(refParams)+i]
+			if d := tensor.MaxAbsDiff(g.G, ref.G); d > 2e-4 {
+				t.Fatalf("%s: copy %d param %d (%s) grad diff %g", s.Scheme, c, i, ref.Name, d)
+			}
+		}
+	}
+}
+
+func TestGPipeMatchesSerial(t *testing.T) {
+	s, err := sched.GPipe(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestDAPPLEMatchesSerial(t *testing.T) {
+	s, err := sched.DAPPLE(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestChimeraMatchesSerial(t *testing.T) {
+	s, err := sched.Chimera(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestHanayoOneWaveMatchesSerial(t *testing.T) {
+	s, err := sched.Hanayo(4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestHanayoTwoWavesMatchesSerial(t *testing.T) {
+	s, err := sched.Hanayo(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestHanayoTwoDevicesMatchesSerial(t *testing.T) {
+	s, err := sched.Hanayo(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestInterleavedMatchesSerial(t *testing.T) {
+	s, err := sched.Interleaved(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 1)
+}
+
+func TestDataParallelMatchesSerial(t *testing.T) {
+	s, err := sched.Hanayo(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 2)
+}
+
+func TestChimeraWithDataParallelMatchesSerial(t *testing.T) {
+	s, err := sched.Chimera(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemeMatchesSerial(t, s, 2)
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	cfg := nn.Tiny(6, 16, 2, 12, 6, true)
+	s, err := sched.Hanayo(4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{
+		Schedule:     s,
+		Model:        cfg,
+		DP:           1,
+		Seed:         1,
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := data.NewGenerator(3, cfg.Vocab, cfg.SeqLen)
+	losses, err := eng.Train(gen, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := (losses[0] + losses[1] + losses[2]) / 3
+	n := len(losses)
+	last := (losses[n-1] + losses[n-2] + losses[n-3]) / 3
+	if last >= first {
+		t.Fatalf("pipeline training did not learn: %g -> %g", first, last)
+	}
+}
+
+func TestReplicasStaySynced(t *testing.T) {
+	cfg := tinyCfg()
+	s, err := sched.DAPPLE(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{
+		Schedule:     s,
+		Model:        cfg,
+		DP:           2,
+		Seed:         9,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0.9) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := data.NewGenerator(5, cfg.Vocab, cfg.SeqLen)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Step(gen.Next(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0 := paramsOf(eng.replicas[0])
+	p1 := paramsOf(eng.replicas[1])
+	for i := range p0 {
+		if d := tensor.MaxAbsDiff(p0[i].W, p1[i].W); d != 0 {
+			t.Fatalf("replicas diverged at param %d (%s): %g", i, p0[i].Name, d)
+		}
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	// Two engines with the same seeds must produce bit-identical losses
+	// despite goroutine nondeterminism: the schedule fixes the dataflow.
+	run := func() []float64 {
+		cfg := tinyCfg()
+		s, err := sched.Hanayo(4, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Config{Schedule: s, Model: cfg, DP: 1, Seed: 3,
+			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := data.NewGenerator(11, cfg.Vocab, cfg.SeqLen)
+		losses, err := eng.Train(gen, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	s, err := sched.Hanayo(4, 2, 4) // S = 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too few layers for 16 stages.
+	if _, err := New(Config{Schedule: s, Model: nn.Tiny(4, 8, 2, 16, 4, true), DP: 1}); err == nil {
+		t.Fatal("expected error: model too shallow for stage count")
+	}
+	if _, err := New(Config{Schedule: s, Model: tinyCfg(), DP: 0}); err == nil {
+		t.Fatal("expected error: DP must be ≥ 1")
+	}
+	if _, err := New(Config{Schedule: nil, Model: tinyCfg(), DP: 1}); err == nil {
+		t.Fatal("expected error: nil schedule")
+	}
+}
+
+func TestCommStatsPopulated(t *testing.T) {
+	cfg := tinyCfg()
+	s, err := sched.Hanayo(4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Schedule: s, Model: cfg, DP: 1, Seed: 2,
+		NewOptimizer: func() nn.Optimizer { return nopOpt{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := data.NewGenerator(1, cfg.Vocab, cfg.SeqLen)
+	res, err := eng.Step(gen.Next(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.CommStats[0]
+	wantMsgs := int64(s.CountKind(sched.OpSendAct) + s.CountKind(sched.OpSendGrad))
+	if st.Messages != wantMsgs {
+		t.Fatalf("router moved %d messages, schedule has %d sends", st.Messages, wantMsgs)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("no bytes counted")
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// TestGenerationDeterministic: the same configuration must produce
+// byte-identical action lists every time — the property that makes
+// schedules shippable artifacts (JSON files, cached plans).
+func TestGenerationDeterministic(t *testing.T) {
+	for _, name := range []string{"gpipe", "dapple", "chimera", "hanayo-w2", "gems", "interleaved-v2"} {
+		a, err := ByName(name, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range a.Lists {
+			if len(a.Lists[d]) != len(b.Lists[d]) {
+				t.Fatalf("%s: device %d lengths differ", name, d)
+			}
+			for i := range a.Lists[d] {
+				if a.Lists[d][i] != b.Lists[d][i] {
+					t.Fatalf("%s: device %d op %d differs: %v vs %v",
+						name, d, i, a.Lists[d][i], b.Lists[d][i])
+				}
+			}
+		}
+	}
+}
+
+// TestComputeOpCountScalesWithB: per-device compute grows linearly in the
+// micro-batch count for every scheme (work conservation at the IR level).
+func TestComputeOpCountScalesWithB(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := 2 + r.Intn(4)
+		b := 2 * (1 + r.Intn(3))
+		s1, err := Hanayo(p, 1+r.Intn(2), b)
+		if err != nil {
+			return false
+		}
+		s2, err := Hanayo(p, s1.W, 2*b)
+		if err != nil {
+			return false
+		}
+		a1, a2 := Analyze(s1), Analyze(s2)
+		for d := 0; d < p; d++ {
+			if a2.ComputePerDev[d] != 2*a1.ComputePerDev[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransferCountFormula: a wave schedule moves exactly
+// B × (S−1−(2W−1)) activations (the turns are local) and the same number
+// of gradients.
+func TestTransferCountFormula(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := 2 + r.Intn(5)
+		w := 1 + r.Intn(3)
+		b := 1 + r.Intn(6)
+		s, err := Hanayo(p, w, b)
+		if err != nil {
+			return false
+		}
+		// S−1 boundaries, of which 2W−1 are turns on a single device.
+		wantPerMicro := s.S - 1 - (2*w - 1)
+		return s.CountKind(OpSendAct) == b*wantPerMicro &&
+			s.CountKind(OpSendGrad) == b*wantPerMicro
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChimeraTransferCount: each micro crosses P−1 boundaries in its own
+// direction; activations and gradients match.
+func TestChimeraTransferCount(t *testing.T) {
+	s, err := Chimera(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CountKind(OpSendAct) != 6*3 || s.CountKind(OpSendGrad) != 6*3 {
+		t.Fatalf("sends %d/%d", s.CountKind(OpSendAct), s.CountKind(OpSendGrad))
+	}
+}

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priority selects which ready compute task a device runs next.
+type Priority int
+
+// Priority policies.
+const (
+	// ForwardFirst prefers forwards over backwards (GPipe-like).
+	ForwardFirst Priority = iota
+	// BackwardFirst prefers backwards over forwards — the eager-backward
+	// rule that yields 1F1B, Chimera and Hanayo behaviour.
+	BackwardFirst
+)
+
+// GenParams configures the greedy list scheduler.
+type GenParams struct {
+	B        int      // micro-batches
+	Mapping  *Mapping // stage placement
+	Priority Priority
+	// InflightCap limits, per (stage, chunk), forwards-started minus
+	// backwards-finished (the live-activation budget). The chunk argument
+	// distinguishes Chimera's two directions, whose depths differ for the
+	// same stage id. nil means unlimited.
+	InflightCap func(stage, chunk int) int
+	// PhaseBarrier makes backwards on a device ineligible until the device
+	// has run all of its forwards — GPipe's flush-between-phases shape.
+	PhaseBarrier bool
+	// Tf, Tb, Tc are the relative durations used to order the greedy
+	// simulation (per-stage compute and per-hop transfer). Only ratios
+	// matter; executors re-time the result with real cost models.
+	Tf, Tb, Tc float64
+}
+
+// task identifies one compute node of the iteration DAG.
+type task struct {
+	micro int
+	stage int
+	back  bool
+}
+
+// genEvent orders the internal simulation of the generator.
+type genEvent struct {
+	time float64
+	seq  int
+	task task
+}
+
+type genEventQueue []genEvent
+
+func (q genEventQueue) Len() int      { return len(q) }
+func (q genEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q genEventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q *genEventQueue) Push(x any) { *q = append(*q, x.(genEvent)) }
+func (q *genEventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// generateOrder runs a greedy time-driven list scheduling of the iteration
+// DAG and returns, per device, the ordered compute actions. The scheduler
+// is the paper's "unified framework" engine: every synchronous scheme is a
+// point in (placement, priority, cap, barrier) space.
+func generateOrder(p GenParams) ([][]Action, error) {
+	m := p.Mapping
+	if p.B <= 0 {
+		return nil, fmt.Errorf("sched: B must be positive, got %d", p.B)
+	}
+	if p.Tf <= 0 || p.Tb <= 0 {
+		return nil, fmt.Errorf("sched: Tf and Tb must be positive")
+	}
+	S, P := m.S, m.P
+
+	// ready[t] = earliest time task t's inputs are available.
+	ready := map[task]float64{}
+	done := map[task]bool{}
+	deviceFree := make([]float64, P)
+	inflight := map[[2]int]int{} // (stage, chunkClass) -> live activations
+	fwdLeft := make([]int, P)    // forwards remaining per device (barrier)
+	order := make([][]Action, P)
+
+	for mi := 0; mi < p.B; mi++ {
+		ready[task{micro: mi, stage: 0}] = 0
+		for s := 0; s < S; s++ {
+			fwdLeft[m.Device(mi, s)]++
+		}
+	}
+
+	eligible := func(t task, now float64) bool {
+		rt, ok := ready[t]
+		if !ok || done[t] || rt > now {
+			return false
+		}
+		d := m.Device(t.micro, t.stage)
+		if !t.back {
+			if p.PhaseBarrier {
+				// backwards are gated elsewhere; forwards always fine
+			}
+			if p.InflightCap != nil {
+				chunk := m.Chunk(t.micro, t.stage)
+				key := [2]int{t.stage, chunk}
+				if inflight[key] >= p.InflightCap(t.stage, chunk) {
+					return false
+				}
+			}
+			return true
+		}
+		if p.PhaseBarrier && fwdLeft[d] > 0 {
+			return false
+		}
+		return true
+	}
+
+	// pick selects the highest-priority eligible task for device d at time
+	// now, or nil.
+	pick := func(d int, now float64) *task {
+		var best *task
+		better := func(t task) bool {
+			if best == nil {
+				return true
+			}
+			// Priority class first.
+			bw := func(x task) int {
+				if p.Priority == BackwardFirst {
+					if x.back {
+						return 0
+					}
+					return 1
+				}
+				if x.back {
+					return 1
+				}
+				return 0
+			}
+			if bw(t) != bw(*best) {
+				return bw(t) < bw(*best)
+			}
+			if t.micro != best.micro {
+				return t.micro < best.micro
+			}
+			return t.stage > best.stage
+		}
+		for t := range ready {
+			if m.Device(t.micro, t.stage) != d {
+				continue
+			}
+			if !eligible(t, now) {
+				continue
+			}
+			if better(t) {
+				tt := t
+				best = &tt
+			}
+		}
+		return best
+	}
+
+	totalTasks := 2 * p.B * S
+	executed := 0
+	// Event-driven loop: events are "device d may be able to start
+	// something at time t".
+	var q genEventQueue
+	seq := 0
+	push := func(t float64) {
+		heap.Push(&q, genEvent{time: t, seq: seq})
+		seq++
+	}
+	push(0)
+
+	finish := func(t task, end float64) {
+		done[t] = true
+		delete(ready, t)
+		d := m.Device(t.micro, t.stage)
+		if !t.back {
+			fwdLeft[d]--
+			key := [2]int{t.stage, m.Chunk(t.micro, t.stage)}
+			inflight[key]++
+			// Successor: next forward stage, or own backward at the top.
+			if t.stage+1 < S {
+				nt := task{micro: t.micro, stage: t.stage + 1}
+				lat := 0.0
+				if m.Device(t.micro, t.stage+1) != d {
+					lat = p.Tc
+				}
+				setReady(ready, done, nt, end+lat)
+				push(end + lat)
+			} else {
+				nt := task{micro: t.micro, stage: t.stage, back: true}
+				setReady(ready, done, nt, end)
+				push(end)
+			}
+		} else {
+			key := [2]int{t.stage, m.Chunk(t.micro, t.stage)}
+			inflight[key]--
+			if t.stage > 0 {
+				nt := task{micro: t.micro, stage: t.stage - 1, back: true}
+				lat := 0.0
+				if m.Device(t.micro, t.stage-1) != d {
+					lat = p.Tc
+				}
+				setReady(ready, done, nt, end+lat)
+				push(end + lat)
+			}
+		}
+		// A completed backward may unblock capped forwards and barriers.
+		push(end)
+	}
+
+	guard := 0
+	for executed < totalTasks {
+		guard++
+		if guard > 64*totalTasks+1024 {
+			return nil, fmt.Errorf("sched: generator stalled (scheme deadlock?) after %d/%d tasks", executed, totalTasks)
+		}
+		if q.Len() == 0 {
+			return nil, fmt.Errorf("sched: no events left with %d/%d tasks executed", executed, totalTasks)
+		}
+		ev := heap.Pop(&q).(genEvent)
+		now := ev.time
+		progress := true
+		for progress {
+			progress = false
+			for d := 0; d < P; d++ {
+				if deviceFree[d] > now {
+					continue
+				}
+				t := pick(d, now)
+				if t == nil {
+					continue
+				}
+				dur := p.Tf
+				kind := OpForward
+				if t.back {
+					dur = p.Tb
+					kind = OpBackward
+				}
+				end := now + dur
+				deviceFree[d] = end
+				order[d] = append(order[d], Action{
+					Kind:  kind,
+					Micro: t.micro,
+					Stage: t.stage,
+					Chunk: m.Chunk(t.micro, t.stage),
+					Peer:  -1,
+				})
+				finish(*t, end)
+				push(end)
+				executed++
+				progress = true
+			}
+		}
+	}
+	return order, nil
+}
+
+func setReady(ready map[task]float64, done map[task]bool, t task, at float64) {
+	if done[t] {
+		return
+	}
+	if cur, ok := ready[t]; !ok || at < cur {
+		ready[t] = at
+	}
+}

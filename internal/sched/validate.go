@@ -1,0 +1,180 @@
+package sched
+
+import "fmt"
+
+// Validate proves a schedule is executable and complete. It abstractly
+// executes the per-device lists with batched-communication semantics
+// (consecutive comm ops post together, as the executors do) and checks:
+//
+//  1. every (micro, stage) forward and backward appears exactly once, on
+//     the device and chunk the mapping dictates;
+//  2. per-device order is consistent with the data dependencies
+//     F(m,s-1)→F(m,s), F(m,S-1)→B(m,S-1), B(m,s+1)→B(m,s);
+//  3. every cross-device dependency has exactly one matching send/recv
+//     pair, and the rendezvous pattern cannot deadlock;
+//  4. each list ends with AllReduce then OptimStep (flush completeness).
+//
+// A nil return means any executor can run the schedule to completion.
+func Validate(s *Schedule) error {
+	m := s.Mapping
+	if len(s.Lists) != s.P {
+		return fmt.Errorf("sched: %d lists for %d devices", len(s.Lists), s.P)
+	}
+
+	// --- static checks -----------------------------------------------
+	type key struct {
+		micro, stage int
+		back         bool
+	}
+	seen := map[key]int{}
+	for d, list := range s.Lists {
+		if len(list) < 2 ||
+			list[len(list)-2].Kind != OpAllReduce ||
+			list[len(list)-1].Kind != OpOptimStep {
+			return fmt.Errorf("sched: device %d list does not end with AllReduce, OptimStep", d)
+		}
+		for _, a := range list {
+			switch a.Kind {
+			case OpForward, OpBackward:
+				if a.Micro < 0 || a.Micro >= s.B || a.Stage < 0 || a.Stage >= s.S {
+					return fmt.Errorf("sched: device %d: out-of-range %v", d, a)
+				}
+				if want := m.Device(a.Micro, a.Stage); want != d {
+					return fmt.Errorf("sched: device %d executes %v owned by device %d", d, a, want)
+				}
+				if want := m.Chunk(a.Micro, a.Stage); want != a.Chunk {
+					return fmt.Errorf("sched: device %d: %v has chunk %d, mapping says %d", d, a, a.Chunk, want)
+				}
+				seen[key{a.Micro, a.Stage, a.Kind == OpBackward}]++
+			case OpSendAct, OpRecvAct, OpSendGrad, OpRecvGrad:
+				if a.Peer < 0 || a.Peer >= s.P || a.Peer == d {
+					return fmt.Errorf("sched: device %d: bad peer in %v", d, a)
+				}
+			}
+		}
+	}
+	for mi := 0; mi < s.B; mi++ {
+		for st := 0; st < s.S; st++ {
+			for _, back := range []bool{false, true} {
+				if n := seen[key{mi, st, back}]; n != 1 {
+					return fmt.Errorf("sched: (micro=%d, stage=%d, back=%v) appears %d times", mi, st, back, n)
+				}
+			}
+		}
+	}
+
+	// --- dynamic rendezvous execution --------------------------------
+	// msg identifies a transfer payload.
+	type msg struct {
+		kind  OpKind // OpSendAct or OpSendGrad
+		micro int
+		stage int
+		src   int
+		dst   int
+	}
+	sent := map[msg]int{}
+	computed := map[key]bool{}
+	received := map[msg]bool{}
+	pc := make([]int, s.P)
+
+	// canRun reports whether device d's next batched group can complete.
+	step := func(d int) (bool, error) {
+		list := s.Lists[d]
+		if pc[d] >= len(list) {
+			return false, nil
+		}
+		a := list[pc[d]]
+		switch a.Kind {
+		case OpForward:
+			if a.Stage > 0 {
+				src := m.Device(a.Micro, a.Stage-1)
+				if src == d {
+					if !computed[key{a.Micro, a.Stage - 1, false}] {
+						return false, nil
+					}
+				} else if !received[msg{OpSendAct, a.Micro, a.Stage, src, d}] {
+					return false, nil
+				}
+			}
+			computed[key{a.Micro, a.Stage, false}] = true
+		case OpBackward:
+			if !computed[key{a.Micro, a.Stage, false}] {
+				return false, fmt.Errorf("sched: device %d runs %v before its forward", d, a)
+			}
+			if a.Stage < s.S-1 {
+				src := m.Device(a.Micro, a.Stage+1)
+				if src == d {
+					if !computed[key{a.Micro, a.Stage + 1, true}] {
+						return false, nil
+					}
+				} else if !received[msg{OpSendGrad, a.Micro, a.Stage, src, d}] {
+					return false, nil
+				}
+			}
+			computed[key{a.Micro, a.Stage, true}] = true
+		case OpSendAct:
+			sent[msg{OpSendAct, a.Micro, a.Stage, d, a.Peer}]++
+		case OpSendGrad:
+			sent[msg{OpSendGrad, a.Micro, a.Stage, d, a.Peer}]++
+		case OpRecvAct:
+			mm := msg{OpSendAct, a.Micro, a.Stage, a.Peer, d}
+			if sent[mm] == 0 {
+				return false, nil
+			}
+			sent[mm]--
+			received[mm] = true
+		case OpRecvGrad:
+			mm := msg{OpSendGrad, a.Micro, a.Stage, a.Peer, d}
+			if sent[mm] == 0 {
+				return false, nil
+			}
+			sent[mm]--
+			received[mm] = true
+		case OpAllReduce, OpOptimStep:
+			// Flush ops always runnable once reached.
+		}
+		pc[d]++
+		return true, nil
+	}
+
+	for {
+		progress := false
+		doneAll := true
+		for d := 0; d < s.P; d++ {
+			for {
+				ok, err := step(d)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+			}
+			if pc[d] < len(s.Lists[d]) {
+				doneAll = false
+			}
+		}
+		if doneAll {
+			break
+		}
+		if !progress {
+			d0 := -1
+			for d := 0; d < s.P; d++ {
+				if pc[d] < len(s.Lists[d]) {
+					d0 = d
+					break
+				}
+			}
+			return fmt.Errorf("sched: deadlock — device %d stuck at %v (pc=%d)", d0, s.Lists[d0][pc[d0]], pc[d0])
+		}
+	}
+
+	// Every send consumed.
+	for mm, n := range sent {
+		if n != 0 {
+			return fmt.Errorf("sched: %d unconsumed sends of %+v", n, mm)
+		}
+	}
+	return nil
+}

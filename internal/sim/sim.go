@@ -1,0 +1,422 @@
+// Package sim is the discrete-event executor that measures a schedule
+// against a cost model: makespan, per-device busy/idle time, bubble-zone
+// decomposition (paper Fig 7), live-activation peaks and a full timeline
+// for Gantt rendering. Together with internal/runtime (which executes the
+// same action lists over real tensors) it forms the two-executor design:
+// sim answers "how fast", runtime answers "is it correct".
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Cost is the timing oracle. internal/costmodel provides cluster-calibrated
+// and uniform implementations.
+type Cost interface {
+	ForwardTime(device, stage int) float64
+	BackwardTime(device, stage int) float64
+	CommTime(src, dst int) float64
+}
+
+// Zone classifies idle time per the paper's Fig 7 taxonomy.
+type Zone int
+
+// Bubble zones.
+const (
+	ZoneA     Zone = iota // waiting for forward activations from peers
+	ZoneB                 // forward/backward overhead discrepancy region
+	ZoneC                 // backward propagation and tail/flush waits
+	ZoneCross             // waiting inside batched bidirectional exchanges
+)
+
+// String names the zone.
+func (z Zone) String() string {
+	switch z {
+	case ZoneA:
+		return "A"
+	case ZoneB:
+		return "B"
+	case ZoneC:
+		return "C"
+	case ZoneCross:
+		return "cross"
+	}
+	return fmt.Sprintf("Zone(%d)", int(z))
+}
+
+// Options tune executor semantics.
+type Options struct {
+	// Prefetch posts receives ahead of time (paper §4.2): a transfer may
+	// start as soon as the sender issues it. When false, a transfer also
+	// waits for the receiver to reach its receive — the no-prefetch
+	// ablation.
+	Prefetch bool
+	// BatchComm issues all sends of a consecutive communication run at
+	// group entry (batch_isend_irecv semantics). When false, ops within a
+	// run execute strictly in order, which can deadlock bidirectional
+	// schedules — exactly the NCCL hazard the paper describes.
+	BatchComm bool
+	// FlushTime charges a fixed duration for the gradient all-reduce.
+	FlushTime float64
+}
+
+// DefaultOptions is the paper-faithful configuration.
+func DefaultOptions() Options { return Options{Prefetch: true, BatchComm: true} }
+
+// Record is one executed action with its time span.
+type Record struct {
+	Action sched.Action
+	Start  float64
+	End    float64
+}
+
+// Result summarizes one simulated iteration.
+type Result struct {
+	Schedule *sched.Schedule
+	Makespan float64
+	Busy     []float64  // per device compute-busy time
+	End      []float64  // per device completion time
+	Records  [][]Record // per device compute timeline
+	PeakActs []int      // per device peak live activations (stage units)
+	Zones    map[Zone]float64
+}
+
+// BubbleRatio is total idle over total device-time, the paper's metric.
+func (r *Result) BubbleRatio() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range r.Busy {
+		busy += b
+	}
+	return 1 - busy/(float64(len(r.Busy))*r.Makespan)
+}
+
+// TotalIdle returns summed idle time across devices.
+func (r *Result) TotalIdle() float64 {
+	var idle float64
+	for _, b := range r.Busy {
+		idle += r.Makespan - b
+	}
+	return idle
+}
+
+type msgKey struct {
+	kind  sched.OpKind // OpSendAct or OpSendGrad
+	micro int
+	stage int
+	src   int
+	dst   int
+}
+
+type transfer struct {
+	issue    float64
+	issued   bool
+	post     float64
+	posted   bool
+	arrival  float64
+	resolved bool
+}
+
+// Run executes the schedule against the cost model.
+func Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
+	p := s.P
+	res := &Result{
+		Schedule: s,
+		Busy:     make([]float64, p),
+		End:      make([]float64, p),
+		Records:  make([][]Record, p),
+		PeakActs: make([]int, p),
+		Zones:    map[Zone]float64{},
+	}
+
+	transfers := map[msgKey]*transfer{}
+	linkFree := map[[2]int]float64{}
+	// Per directed link, sends resolve in issue order; since a directed
+	// link has a unique sender walking its list serially, issue order is
+	// program order and we can resolve eagerly with linkFree.
+
+	time := make([]float64, p)
+	pc := make([]int, p)
+	liveActs := make([]int, p)
+	// runEntered marks a batched comm run whose sends were already issued.
+	runEntered := make([]int, p)
+	for d := range runEntered {
+		runEntered[d] = -1
+	}
+	// seqPtr is the intra-run pointer for the unbatched ablation.
+	seqPtr := make([]int, p)
+
+	// commRunEnd returns the index one past the run of comm ops at i.
+	commRunEnd := func(d, i int) int {
+		list := s.Lists[d]
+		j := i
+		for j < len(list) && list[j].Kind.IsComm() {
+			j++
+		}
+		return j
+	}
+
+	// nextComputeKind looks past index i for zone classification.
+	classify := func(d, i int) Zone {
+		list := s.Lists[d]
+		sawBackward := false
+		for j := i; j < len(list); j++ {
+			switch list[j].Kind {
+			case sched.OpForward:
+				if sawBackward {
+					return ZoneB
+				}
+				return ZoneA
+			case sched.OpBackward:
+				sawBackward = true
+				// Keep scanning: a later forward means mid-pipeline (B),
+				// none means the tail (C).
+			}
+		}
+		if sawBackward {
+			return ZoneC
+		}
+		return ZoneC
+	}
+
+	resolveSend := func(k msgKey, tr *transfer) bool {
+		if tr.resolved || !tr.issued {
+			return false
+		}
+		if !opt.Prefetch && !tr.posted {
+			return false
+		}
+		start := tr.issue
+		if !opt.Prefetch && tr.post > start {
+			start = tr.post
+		}
+		lk := [2]int{k.src, k.dst}
+		if linkFree[lk] > start {
+			start = linkFree[lk]
+		}
+		dur := cost.CommTime(k.src, k.dst)
+		linkFree[lk] = start + dur
+		tr.arrival = start + dur
+		tr.resolved = true
+		return true
+	}
+
+	getTransfer := func(k msgKey) *transfer {
+		tr := transfers[k]
+		if tr == nil {
+			tr = &transfer{}
+			transfers[k] = tr
+		}
+		return tr
+	}
+
+	keyOf := func(d int, a sched.Action) msgKey {
+		switch a.Kind {
+		case sched.OpSendAct:
+			return msgKey{sched.OpSendAct, a.Micro, a.Stage, d, a.Peer}
+		case sched.OpSendGrad:
+			return msgKey{sched.OpSendGrad, a.Micro, a.Stage, d, a.Peer}
+		case sched.OpRecvAct:
+			return msgKey{sched.OpSendAct, a.Micro, a.Stage, a.Peer, d}
+		case sched.OpRecvGrad:
+			return msgKey{sched.OpSendGrad, a.Micro, a.Stage, a.Peer, d}
+		}
+		panic("sim: not a comm op")
+	}
+
+	// advance tries to move device d one group forward; returns progress.
+	advance := func(d int) bool {
+		list := s.Lists[d]
+		if pc[d] >= len(list) {
+			return false
+		}
+		a := list[pc[d]]
+		switch {
+		case a.Kind == sched.OpForward || a.Kind == sched.OpBackward:
+			dur := cost.ForwardTime(d, a.Stage)
+			if a.Kind == sched.OpBackward {
+				dur = cost.BackwardTime(d, a.Stage)
+			}
+			start := time[d]
+			end := start + dur
+			res.Records[d] = append(res.Records[d], Record{Action: a, Start: start, End: end})
+			res.Busy[d] += dur
+			time[d] = end
+			if a.Kind == sched.OpForward {
+				liveActs[d]++
+				if liveActs[d] > res.PeakActs[d] {
+					res.PeakActs[d] = liveActs[d]
+				}
+			} else {
+				liveActs[d]--
+			}
+			pc[d]++
+			return true
+
+		case a.Kind.IsComm():
+			runEnd := commRunEnd(d, pc[d])
+			if opt.BatchComm {
+				if runEntered[d] != pc[d] {
+					// Entering the run: issue all sends, post all recvs.
+					for i := pc[d]; i < runEnd; i++ {
+						op := list[i]
+						k := keyOf(d, op)
+						tr := getTransfer(k)
+						switch op.Kind {
+						case sched.OpSendAct, sched.OpSendGrad:
+							tr.issue = time[d]
+							tr.issued = true
+							resolveSend(k, tr)
+						default:
+							tr.post = time[d]
+							tr.posted = true
+							resolveSend(k, tr)
+						}
+					}
+					runEntered[d] = pc[d]
+					return true
+				}
+				// Waiting for all recvs in the run to arrive.
+				wait := time[d]
+				cross := false
+				hasSend := false
+				hasRecvFrom := map[int]bool{}
+				for i := pc[d]; i < runEnd; i++ {
+					op := list[i]
+					if op.Kind == sched.OpSendAct || op.Kind == sched.OpSendGrad {
+						hasSend = true
+						if hasRecvFrom[op.Peer] {
+							cross = true
+						}
+						continue
+					}
+					hasRecvFrom[op.Peer] = true
+					tr := getTransfer(keyOf(d, op))
+					if !tr.resolved {
+						return false
+					}
+					if tr.arrival > wait {
+						wait = tr.arrival
+					}
+				}
+				// A run that both sends to and receives from the same
+				// neighborhood is a bidirectional exchange.
+				if hasSend && len(hasRecvFrom) > 0 {
+					cross = true
+				}
+				if wait > time[d] {
+					z := classify(d, runEnd)
+					if cross {
+						z = ZoneCross
+					}
+					res.Zones[z] += wait - time[d]
+					time[d] = wait
+				}
+				pc[d] = runEnd
+				runEntered[d] = -1
+				return true
+			}
+			// Unbatched ablation: strict in-order comm.
+			op := list[pc[d]+seqPtr[d]]
+			k := keyOf(d, op)
+			tr := getTransfer(k)
+			switch op.Kind {
+			case sched.OpSendAct, sched.OpSendGrad:
+				if !tr.issued {
+					tr.issue = time[d]
+					tr.issued = true
+				}
+				resolveSend(k, tr)
+				if !tr.resolved {
+					return false
+				}
+				// Blocking send: device waits for the wire.
+				if tr.arrival > time[d] {
+					res.Zones[ZoneCross] += tr.arrival - time[d]
+					time[d] = tr.arrival
+				}
+			default:
+				if !tr.posted {
+					tr.post = time[d]
+					tr.posted = true
+				}
+				resolveSend(k, tr)
+				if !tr.resolved {
+					return false
+				}
+				if tr.arrival > time[d] {
+					res.Zones[classify(d, pc[d]+seqPtr[d]+1)] += tr.arrival - time[d]
+					time[d] = tr.arrival
+				}
+			}
+			seqPtr[d]++
+			if pc[d]+seqPtr[d] >= runEnd {
+				pc[d] = runEnd
+				seqPtr[d] = 0
+			}
+			return true
+
+		case a.Kind == sched.OpAllReduce:
+			time[d] += opt.FlushTime
+			pc[d]++
+			return true
+		case a.Kind == sched.OpOptimStep:
+			pc[d]++
+			return true
+		}
+		pc[d]++
+		return true
+	}
+
+	for {
+		progress := false
+		done := true
+		for d := 0; d < p; d++ {
+			for advance(d) {
+				progress = true
+			}
+			if pc[d] < len(s.Lists[d]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			d0 := 0
+			for d := 0; d < p; d++ {
+				if pc[d] < len(s.Lists[d]) {
+					d0 = d
+					break
+				}
+			}
+			return nil, fmt.Errorf("sim: communication deadlock at device %d op %v (batchComm=%v)",
+				d0, s.Lists[d0][pc[d0]], opt.BatchComm)
+		}
+	}
+
+	for d := 0; d < p; d++ {
+		res.End[d] = time[d]
+		if time[d] > res.Makespan {
+			res.Makespan = time[d]
+		}
+	}
+	// Tail idle: devices finished before the global flush point.
+	for d := 0; d < p; d++ {
+		res.Zones[ZoneC] += res.Makespan - res.End[d]
+	}
+	return res, nil
+}
+
+// Throughput converts a makespan into sequences/s for the given total batch
+// rows per iteration.
+func Throughput(r *Result, totalRows int) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(totalRows) / r.Makespan
+}

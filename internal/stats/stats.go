@@ -1,0 +1,82 @@
+// Package stats provides the small statistical helpers the evaluation
+// tables need: means, variance, speedups and scaling efficiency.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Max returns the maximum (−Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Speedup returns b/a − 1 as a percentage: how much faster b is than a
+// when both are throughputs.
+func Speedup(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b/a - 1) * 100
+}
+
+// WeakScalingEfficiency compares throughput at n devices against a
+// baseline at n0 devices under proportionally grown work:
+// (thr_n / thr_n0) / (n / n0).
+func WeakScalingEfficiency(thr0, thrN float64, n0, n int) float64 {
+	if thr0 == 0 || n0 == 0 {
+		return 0
+	}
+	return (thrN / thr0) / (float64(n) / float64(n0)) * 100
+}
+
+// StrongScalingSpeedup is thr_n / thr_n0 as a percentage (100% = equal).
+func StrongScalingSpeedup(thr0, thrN float64) float64 {
+	if thr0 == 0 {
+		return 0
+	}
+	return thrN / thr0 * 100
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %g", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("variance %g", Variance(xs))
+	}
+	if Stddev(xs) != 2 {
+		t.Fatalf("stddev %g", Stddev(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty mean/variance must be 0")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Fatal("empty max/min sentinels")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatalf("max %g min %g", Max(xs), Min(xs))
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 13); math.Abs(s-30) > 1e-9 {
+		t.Fatalf("speedup %g", s)
+	}
+	if Speedup(0, 5) != 0 {
+		t.Fatal("zero-base speedup")
+	}
+}
+
+func TestScalingMetrics(t *testing.T) {
+	// Perfect weak scaling: 4× devices, 4× throughput.
+	if e := WeakScalingEfficiency(2, 8, 8, 32); math.Abs(e-100) > 1e-9 {
+		t.Fatalf("weak efficiency %g", e)
+	}
+	if s := StrongScalingSpeedup(2, 6.75); math.Abs(s-337.5) > 1e-9 {
+		t.Fatalf("strong speedup %g", s)
+	}
+	if WeakScalingEfficiency(0, 1, 1, 2) != 0 || StrongScalingSpeedup(0, 1) != 0 {
+		t.Fatal("zero-base scaling")
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic PRNG (splitmix64 core with a Box–Muller
+// normal sampler). We avoid math/rand so that every run — including the
+// concurrent pipeline runtime — is reproducible from an explicit seed.
+type RNG struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed ^ 0x9E3779B97F4A7C15} }
+
+// Uint64 advances the splitmix64 state.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal sample.
+func (r *RNG) NormFloat64() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.has = true
+	return u * m
+}
+
+// Randn fills a new tensor with N(0, std²) samples.
+func Randn(r *RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+	return t
+}
+
+// Uniform fills a new tensor with U[lo,hi) samples.
+func Uniform(r *RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func result(t *testing.T) *sim.Result {
+	t.Helper()
+	s, err := sched.Hanayo(4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(s, costmodel.Uniform{Tf: 0.5, Tb: 1, Tc: 0.05}, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGanttShape(t *testing.T) {
+	var buf bytes.Buffer
+	Gantt(&buf, result(t), 60)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 devices
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "hanayo-w1") || !strings.Contains(lines[0], "bubble=") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "P") || !strings.Contains(l, "|") {
+			t.Fatalf("bad row %q", l)
+		}
+	}
+	// Forward micro 0 and its backward glyph must both appear.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "a") {
+		t.Fatal("missing forward/backward glyphs")
+	}
+}
+
+func TestGanttDefaultsWidth(t *testing.T) {
+	var buf bytes.Buffer
+	Gantt(&buf, result(t), 0)
+	if !strings.Contains(buf.String(), "|") {
+		t.Fatal("no output with default width")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, result(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 2*B*S compute rows
+	if len(lines) != 1+2*4*8 {
+		t.Fatalf("rows %d", len(lines))
+	}
+	if lines[0] != "device,kind,micro,stage,chunk,start,end" {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chrome(&buf, result(t)); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2*4*8 {
+		t.Fatalf("events %d", len(events))
+	}
+	if events[0]["ph"] != "X" {
+		t.Fatal("wrong phase")
+	}
+}
+
+func TestSummaryAndLegend(t *testing.T) {
+	s := Summary(result(t))
+	if !strings.Contains(s, "makespan=") || !strings.Contains(s, "zones[") {
+		t.Fatalf("summary %q", s)
+	}
+	if Legend() == "" {
+		t.Fatal("empty legend")
+	}
+}
+
+func TestMicroGlyphs(t *testing.T) {
+	if microGlyph(3, false) != '3' || microGlyph(3, true) != 'd' {
+		t.Fatal("glyph mapping")
+	}
+	if microGlyph(12, false) != 'C' {
+		t.Fatal("extended forward glyph")
+	}
+	if microGlyph(40, false) != '*' || microGlyph(30, true) != '#' {
+		t.Fatal("overflow glyphs")
+	}
+}
