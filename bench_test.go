@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -124,6 +125,56 @@ func BenchmarkRuntimeIteration(b *testing.B) {
 		if _, err := eng.Step(batch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// autotuneSpace is the Fig 10-sized sweep used by the AutoTune benches.
+func autotuneSpace(workers int) core.SearchSpace {
+	return core.SearchSpace{
+		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
+		Waves:     []int{1, 2, 4, 8},
+		B:         16,
+		MicroRows: 2,
+		Workers:   workers,
+	}
+}
+
+// BenchmarkAutoTuneSerial is the baseline configuration search: one
+// worker, every candidate measured in sequence.
+func BenchmarkAutoTuneSerial(b *testing.B) {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	for i := 0; i < b.N; i++ {
+		if cands := core.AutoTune(cl, model, autotuneSpace(1)); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkAutoTuneParallel runs the identical sweep with the default
+// worker pool (one per CPU) and reports the serial/parallel wall-clock
+// speedup — the §5.3 search is the hot path of every cluster-sizing run.
+// On a single-core runner the pool degenerates to one worker and the
+// metric stays ≈1.
+func BenchmarkAutoTuneParallel(b *testing.B) {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	core.AutoTune(cl, model, autotuneSpace(1)) // warmup both paths
+	core.AutoTune(cl, model, autotuneSpace(0))
+	// One warmed serial run is the baseline; only the parallel sweep is
+	// averaged over b.N (keeping the benchmark's wall-clock bounded).
+	start := time.Now()
+	core.AutoTune(cl, model, autotuneSpace(1))
+	serialPerOp := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := core.AutoTune(cl, model, autotuneSpace(0)); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(serialPerOp)/float64(perOp), "serial/parallel-x")
 	}
 }
 

@@ -5,6 +5,7 @@
 //
 //	hanayo-bench             # run everything
 //	hanayo-bench -exp fig09  # run one experiment
+//	hanayo-bench -exp fig10 -workers 1   # serial configuration search
 //	hanayo-bench -list       # list experiment ids
 package main
 
@@ -19,7 +20,9 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id (e.g. fig01); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
 	flag.Parse()
+	experiments.AutoTuneWorkers = *workers
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -1,7 +1,9 @@
 // Command hanayo-sched generates, validates, analyzes and exports pipeline
 // schedules as JSON — the interchange point for external tooling and for
 // hand-edited custom schedules (round-tripped files are re-validated on
-// load).
+// load). It also fronts the §5.3 configuration search: -tune sweeps a
+// cluster preset for the best (scheme, P, D) plan with the parallel
+// AutoTune worker pool and then analyzes (or dumps) the winning schedule.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	hanayo-sched -scheme chimera -p 8 -b 8 -json        # dump action lists
 //	hanayo-sched -load sched.json                       # validate a file
 //	hanayo-sched -scheme gpipe -p 4 -b 4 -lists         # human-readable ops
+//	hanayo-sched -tune -cluster tacc -devices 32 -b 16  # search, then analyze the winner
+//	hanayo-sched -tune -workers 1 -json                 # serial search, dump winning schedule
 package main
 
 import (
@@ -16,6 +20,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/sched"
 )
 
@@ -26,11 +33,25 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the schedule as JSON")
 	lists := flag.Bool("lists", false, "print per-device action lists")
 	load := flag.String("load", "", "load and validate a schedule JSON file instead of generating")
+	tune := flag.Bool("tune", false, "AutoTune: search the cluster for the best plan, then use its schedule")
+	clName := flag.String("cluster", "tacc", "cluster preset for -tune (tacc, tc, pc, fc)")
+	devices := flag.Int("devices", 32, "cluster size for -tune")
+	workers := flag.Int("workers", 0, "AutoTune sweep workers: 0 = one per CPU, 1 = serial")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *tune && (set["scheme"] || set["p"]) {
+		fatal(fmt.Errorf("-tune searches schemes and pipeline shapes itself; drop -scheme/-p"))
+	}
+	if *tune && *load != "" {
+		fatal(fmt.Errorf("-tune and -load are mutually exclusive"))
+	}
 
 	var s *sched.Schedule
 	var err error
-	if *load != "" {
+	switch {
+	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
 			fatal(ferr)
@@ -40,7 +61,24 @@ func main() {
 		if err == nil {
 			fmt.Printf("%s: valid (%d actions)\n", *load, s.NumActions())
 		}
-	} else {
+	case *tune:
+		cl, cerr := cluster.ByName(*clName, *devices)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		cands := core.AutoTune(cl, nn.BERTStyle(), core.SearchSpace{
+			B:       *b,
+			Workers: *workers,
+		})
+		best, ok := core.Best(cands)
+		if !ok {
+			fatal(fmt.Errorf("no feasible configuration on %s×%d", *clName, *devices))
+		}
+		fmt.Printf("winner on %s×%d: %s P=%d D=%d B=%d (%.2f seq/s, %.1f GB peak)\n",
+			*clName, *devices, best.Plan.Scheme, best.Plan.P, best.Plan.D, best.Plan.B,
+			best.Throughput, best.PeakGB)
+		s, err = best.Plan.Schedule()
+	default:
 		s, err = sched.ByName(*scheme, *p, *b)
 		if err == nil {
 			err = sched.Validate(s)

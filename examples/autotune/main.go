@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	hanayo "repro"
 )
@@ -13,14 +14,17 @@ import (
 func main() {
 	cl := hanayo.TACC(32)
 	model := hanayo.BERTStyle()
-	fmt.Printf("searching schemes × (P, D) × waves for %s on %d×%s\n\n",
-		model.Name, cl.N(), cl.Devices[0].Name)
+	fmt.Printf("searching schemes × (P, D) × waves for %s on %d×%s (%d workers)\n\n",
+		model.Name, cl.N(), cl.Devices[0].Name, runtime.NumCPU())
 
 	cands := hanayo.AutoTune(cl, model, hanayo.SearchSpace{
 		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
 		Waves:     []int{1, 2, 4},
 		B:         16,
 		MicroRows: 2,
+		// One sweep worker per CPU; the candidate ranking is identical to
+		// the serial sweep (Workers: 1).
+		Workers: runtime.NumCPU(),
 	})
 	fmt.Printf("%-14s %4s %4s %10s %8s\n", "scheme", "P", "D", "seq/s", "peakGB")
 	for _, c := range cands {

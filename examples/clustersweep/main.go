@@ -1,18 +1,21 @@
 // Cluster adaptability (the paper's §5.2 scenario): sweep wave counts on
 // each of the four evaluation clusters and see how the optimal number of
 // waves shifts with interconnect quality — higher on NVLink boxes, lower on
-// the PCIe/InfiniBand TACC nodes.
+// the PCIe/InfiniBand TACC nodes. Each cluster's wave candidates are
+// measured through the parallel AutoTune sweep (one worker per CPU).
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	hanayo "repro"
 )
 
 func main() {
 	model := hanayo.BERTStyle()
+	waves := []int{1, 2, 4, 8}
 	fmt.Println("BERT-style, 8 devices per cluster, throughput in sequences/s")
 	fmt.Printf("%-6s %10s %10s %10s %10s %12s\n", "clus", "W=1", "W=2", "W=4", "W=8", "best")
 	for _, name := range []string{"pc", "fc", "tacc", "tc"} {
@@ -20,27 +23,45 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Sweep all wave counts as named schemes in one parallel AutoTune
+		// call; the empty (non-nil) Waves disables the built-in per-(P,D)
+		// wave sweep so each count appears exactly once.
+		schemes := make([]string, len(waves))
+		for i, w := range waves {
+			schemes[i] = fmt.Sprintf("hanayo-w%d", w)
+		}
+		cands := hanayo.AutoTune(cl, model, hanayo.SearchSpace{
+			Schemes:   schemes,
+			PD:        [][2]int{{8, 1}},
+			Waves:     []int{},
+			B:         8,
+			MicroRows: 2,
+			Workers:   runtime.NumCPU(),
+		})
+		byScheme := map[string]hanayo.Candidate{}
+		for _, c := range cands {
+			byScheme[c.Plan.Scheme] = c
+		}
 		fmt.Printf("%-6s", name)
 		bestW, bestThr := 0, 0.0
-		for _, w := range []int{1, 2, 4, 8} {
-			plan := hanayo.Plan{
-				Scheme:    fmt.Sprintf("hanayo-w%d", w),
-				Cluster:   cl,
-				Model:     model,
-				P:         8,
-				D:         1,
-				B:         8,
-				MicroRows: 2,
+		for _, w := range waves {
+			c := byScheme[fmt.Sprintf("hanayo-w%d", w)]
+			switch {
+			case c.Err != nil:
+				log.Fatal(c.Err)
+			case c.OOM:
+				fmt.Printf(" %10s", "OOM")
+			default:
+				if c.Throughput > bestThr {
+					bestThr, bestW = c.Throughput, w
+				}
+				fmt.Printf(" %10.2f", c.Throughput)
 			}
-			thr, err := plan.Throughput()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if thr > bestThr {
-				bestThr, bestW = thr, w
-			}
-			fmt.Printf(" %10.2f", thr)
 		}
-		fmt.Printf("   best W=%d (%.2f seq/s)\n", bestW, bestThr)
+		if bestW == 0 {
+			fmt.Printf("   all OOM\n")
+		} else {
+			fmt.Printf("   best W=%d (%.2f seq/s)\n", bestW, bestThr)
+		}
 	}
 }

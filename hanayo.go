@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/memmodel"
 	"repro/internal/nn"
 	"repro/internal/perfmodel"
@@ -80,7 +81,9 @@ var (
 	ReadScheduleJSON  = sched.ReadJSON
 )
 
-// Executors.
+// Executors. Both are backends of the shared action-list interpreter in
+// internal/exec: the simulator plugs in virtual time, the runtime plugs in
+// real tensors, and custom executors implement ExecBackend.
 type (
 	// SimOptions tunes the discrete-event simulator.
 	SimOptions = sim.Options
@@ -90,6 +93,24 @@ type (
 	Engine = runtime.Engine
 	// EngineConfig assembles an Engine directly (Plan.Engine is simpler).
 	EngineConfig = runtime.Config
+	// ExecBackend is the pluggable executor-semantics interface of the
+	// shared interpreter — the extension point for new executors
+	// (memory-trace, async variants) without a new walking loop.
+	ExecBackend = exec.Backend
+	// ExecOptions tunes interpreter semantics (comm-run batching).
+	ExecOptions = exec.Options
+	// ExecRecord is one executed compute action with its time span, the
+	// timeline entry both executors produce.
+	ExecRecord = exec.Record
+)
+
+// Interpreter drivers for custom backends: Interpret walks all devices
+// cooperatively (discrete-event style, ErrBlocked to yield), and
+// InterpretConcurrent walks one goroutine per device (blocking hooks).
+var (
+	Interpret           = exec.Run
+	InterpretConcurrent = exec.RunConcurrent
+	ErrExecBlocked      = exec.ErrBlocked
 )
 
 // Simulate runs a schedule against a cost oracle.

@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
@@ -28,6 +30,60 @@ type Plan struct {
 	D         int // data-parallel replicas
 	B         int // micro-batches per replica per iteration
 	MicroRows int // sequences per micro-batch
+
+	// cache memoizes generated+validated schedules across plans that share
+	// (Scheme, P, B) — identical action lists are built once per AutoTune
+	// sweep instead of once per candidate. Nil (the zero value) means no
+	// memoization; AutoTune installs one per sweep.
+	cache *schedCache
+}
+
+// schedKey identifies one action-list program: schedules depend only on
+// the scheme and the (P, B) shape, not on cluster, model or D.
+type schedKey struct {
+	scheme string
+	p, b   int
+}
+
+// schedCache memoizes schedule generation and validation. Entries are
+// built exactly once (sync.Once) even under the parallel sweep; the
+// cached *sched.Schedule is shared read-only by every executor.
+type schedCache struct {
+	mu sync.Mutex
+	m  map[schedKey]*schedEntry
+}
+
+type schedEntry struct {
+	once sync.Once
+	s    *sched.Schedule
+	err  error
+}
+
+func newSchedCache() *schedCache { return &schedCache{m: map[schedKey]*schedEntry{}} }
+
+func (c *schedCache) get(scheme string, p, b int) (*sched.Schedule, error) {
+	k := schedKey{scheme, p, b}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		e = &schedEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.s, e.err = buildSchedule(scheme, p, b) })
+	return e.s, e.err
+}
+
+// buildSchedule generates and validates one schedule.
+func buildSchedule(scheme string, p, b int) (*sched.Schedule, error) {
+	s, err := sched.ByName(scheme, p, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Validate checks structural consistency against the cluster.
@@ -44,19 +100,16 @@ func (p Plan) Validate() error {
 	return p.Model.Validate()
 }
 
-// Schedule generates and validates the action lists for one replica.
+// Schedule generates and validates the action lists for one replica
+// (memoized when the plan carries an AutoTune sweep cache).
 func (p Plan) Schedule() (*sched.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := sched.ByName(p.Scheme, p.P, p.B)
-	if err != nil {
-		return nil, err
+	if p.cache != nil {
+		return p.cache.get(p.Scheme, p.P, p.B)
 	}
-	if err := sched.Validate(s); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return buildSchedule(p.Scheme, p.P, p.B)
 }
 
 // Simulate runs the discrete-event executor with the cluster cost model and
@@ -140,6 +193,11 @@ type SearchSpace struct {
 	Waves     []int    // wave counts tried for Hanayo; nil → 1,2,4,8
 	B         int      // micro-batches per replica
 	MicroRows int
+	// Workers bounds the candidate-measurement worker pool: 0 → one per
+	// CPU (runtime.NumCPU()), 1 → serial. Any setting returns the
+	// identical candidate ranking — measurements land in deterministic
+	// slots before the final stable sort.
+	Workers int
 }
 
 // DefaultSchemes returns the baseline set of §5.
@@ -147,7 +205,10 @@ func DefaultSchemes() []string { return []string{"gpipe", "dapple", "chimera-wav
 
 // AutoTune sweeps the search space and returns all candidates sorted by
 // throughput (best first). OOM candidates sort last — they appear in Fig 10
-// as blank cells.
+// as blank cells. Candidates are measured by a bounded worker pool of
+// space.Workers goroutines sharing one schedule cache, so identical action
+// lists are generated and validated once per sweep; the ranking is
+// independent of the worker count.
 func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
 	if space.Schemes == nil {
 		space.Schemes = DefaultSchemes()
@@ -169,47 +230,70 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 	if space.MicroRows == 0 {
 		space.MicroRows = 1
 	}
-
-	var out []Candidate
-	measure := func(plan Plan) Candidate {
-		c := Candidate{Plan: plan}
-		mem, err := plan.Memory()
-		if err != nil {
-			c.Err = err
-			return c
-		}
-		c.PeakGB = mem.MaxGB()
-		if !memmodel.FitsCluster(mem, plan.Cluster, 0.95) {
-			c.OOM = true
-			return c
-		}
-		thr, err := plan.Throughput()
-		if err != nil {
-			c.Err = err
-			return c
-		}
-		c.Throughput = thr
-		return c
+	workers := space.Workers
+	if workers <= 0 {
+		workers = goruntime.NumCPU()
 	}
 
-	for _, pd := range space.PD {
+	// Lay out the candidate grid in deterministic order. waveGroup tags
+	// the Hanayo wave-sweep candidates of one (P, D) so only the best wave
+	// survives, mirroring §5.3 ("we searched for the best wave number under
+	// each parallelism configuration").
+	type task struct {
+		plan Plan
+		pd   int  // index into space.PD
+		wave bool // part of the per-(P,D) Hanayo wave sweep
+	}
+	cache := newSchedCache()
+	var tasks []task
+	for pi, pd := range space.PD {
 		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
-			B: space.B, MicroRows: space.MicroRows}
+			B: space.B, MicroRows: space.MicroRows, cache: cache}
 		for _, scheme := range space.Schemes {
 			plan := base
 			plan.Scheme = scheme
-			out = append(out, measure(plan))
+			tasks = append(tasks, task{plan: plan, pd: pi})
 		}
-		// Hanayo with a wave sweep: keep only the best wave per (P, D),
-		// mirroring §5.3 ("we searched for the best wave number under each
-		// parallelism configuration").
-		var bestWave *Candidate
 		for _, w := range space.Waves {
 			plan := base
 			plan.Scheme = fmt.Sprintf("hanayo-w%d", w)
-			c := measure(plan)
-			if bestWave == nil || c.Throughput > bestWave.Throughput {
-				cc := c
+			tasks = append(tasks, task{plan: plan, pd: pi, wave: true})
+		}
+	}
+
+	// Measure every candidate concurrently into its deterministic slot:
+	// `workers` goroutines pull task indices from a shared feed.
+	measured := make([]Candidate, len(tasks))
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				measured[i] = measure(tasks[i].plan)
+			}
+		}()
+	}
+	for i := range tasks {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+
+	// Reduce in grid order, exactly as the serial sweep: per (P, D) the
+	// regular candidates pass through, then the wave group contributes its
+	// best wave (first maximum wins).
+	var out []Candidate
+	i := 0
+	for pi := range space.PD {
+		for ; i < len(tasks) && tasks[i].pd == pi && !tasks[i].wave; i++ {
+			out = append(out, measured[i])
+		}
+		var bestWave *Candidate
+		for ; i < len(tasks) && tasks[i].pd == pi; i++ {
+			if bestWave == nil || measured[i].Throughput > bestWave.Throughput {
+				cc := measured[i]
 				bestWave = &cc
 			}
 		}
@@ -222,6 +306,33 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 		return out[i].Throughput > out[j].Throughput
 	})
 	return out
+}
+
+// measure evaluates one candidate plan: memory feasibility first (OOM
+// cells), then simulated throughput. The sweep cache is dropped from the
+// returned candidate so holding one result does not retain every schedule
+// generated by the sweep.
+func measure(plan Plan) Candidate {
+	pub := plan
+	pub.cache = nil
+	c := Candidate{Plan: pub}
+	mem, err := plan.Memory()
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.PeakGB = mem.MaxGB()
+	if !memmodel.FitsCluster(mem, plan.Cluster, 0.95) {
+		c.OOM = true
+		return c
+	}
+	thr, err := plan.Throughput()
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.Throughput = thr
+	return c
 }
 
 // Best returns the highest-throughput non-OOM candidate, if any.

@@ -217,3 +217,69 @@ func TestDefaultSchemes(t *testing.T) {
 		t.Fatalf("default schemes %v", got)
 	}
 }
+
+// TestAutoTuneParallelRankingMatchesSerial sweeps the same space serially
+// (Workers=1) and with a full worker pool and requires the identical
+// candidate ordering and measurements — the parallel sweep must be a pure
+// wall-clock optimization.
+func TestAutoTuneParallelRankingMatchesSerial(t *testing.T) {
+	cl := cluster.TACC(16)
+	model := nn.BERTStyle()
+	space := SearchSpace{
+		PD:        [][2]int{{4, 4}, {8, 2}, {16, 1}},
+		Waves:     []int{1, 2, 4},
+		B:         8,
+		MicroRows: 2,
+	}
+	serialSpace := space
+	serialSpace.Workers = 1
+	serial := AutoTune(cl, model, serialSpace)
+	parallelSpace := space
+	parallelSpace.Workers = 8
+	parallel := AutoTune(cl, model, parallelSpace)
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("candidate counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Plan.Scheme != p.Plan.Scheme || s.Plan.P != p.Plan.P || s.Plan.D != p.Plan.D {
+			t.Fatalf("rank %d: serial %s P=%d D=%d, parallel %s P=%d D=%d",
+				i, s.Plan.Scheme, s.Plan.P, s.Plan.D, p.Plan.Scheme, p.Plan.P, p.Plan.D)
+		}
+		if s.Throughput != p.Throughput || s.PeakGB != p.PeakGB || s.OOM != p.OOM {
+			t.Fatalf("rank %d (%s): serial (%.6f, %.3f, %v) vs parallel (%.6f, %.3f, %v)",
+				i, s.Plan.Scheme, s.Throughput, s.PeakGB, s.OOM, p.Throughput, p.PeakGB, p.OOM)
+		}
+	}
+}
+
+// TestScheduleCacheSharesPrograms proves the sweep cache builds one
+// schedule per (scheme, P, B) and returns the same instance to every plan
+// that shares the key.
+func TestScheduleCacheSharesPrograms(t *testing.T) {
+	cache := newSchedCache()
+	p1 := bertPlan("hanayo-w2", 4, 2)
+	p1.cache = cache
+	p2 := p1
+	p2.D = 1 // different plan, same (scheme, P, B) program
+	s1, err := p1.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p2.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("cache returned distinct schedules for one (scheme, P, B) key")
+	}
+	uncached := bertPlan("hanayo-w2", 4, 2)
+	s3, err := uncached.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("plans without a sweep cache must build fresh schedules")
+	}
+}

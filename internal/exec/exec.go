@@ -1,0 +1,313 @@
+// Package exec is the shared pipeline-execution kernel: a single
+// action-list interpreter that walks sched.Schedule per-device programs —
+// compute ops, batched communication runs, flush — and delegates every
+// semantic decision to a Backend. The two executors of the paper's design
+// are backends of this one interpreter: internal/sim plugs in a timing
+// backend (virtual time, Fig 7 bubble zones), internal/runtime plugs in a
+// real-tensor backend (goroutine workers over the comm router). Both
+// therefore share one implementation of program counters, comm-run
+// batching, send/recv ordering and flush semantics, and both produce the
+// same Record timeline type from the same walking loop.
+//
+// Two drivers expose the interpreter:
+//
+//   - Run walks all devices cooperatively in one goroutine, round-robin
+//     with deadlock detection. Backends signal "cannot complete yet" by
+//     returning ErrBlocked from Recv/Drain; the driver retries after other
+//     devices make progress. This is the discrete-event mode.
+//   - RunConcurrent walks each device in its own goroutine. Backends block
+//     inside Recv instead of returning ErrBlocked. This is the real
+//     training mode.
+//
+// Both drivers execute the identical per-step state machine (see step), so
+// executor semantics — what a batched run issues first, when receives
+// complete, how the flush terminates a list — are defined exactly once.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// ErrBlocked is returned by a cooperative backend's Recv or Drain hook
+// when the awaited payload has not arrived yet. The cooperative driver
+// yields to other devices and retries; if no device can make progress the
+// driver reports a communication deadlock. Concurrent backends never
+// return it — they block instead.
+var ErrBlocked = errors.New("exec: blocked")
+
+// Options tune interpreter semantics shared by every backend.
+type Options struct {
+	// BatchComm treats each maximal run of consecutive comm ops as one
+	// batched isend/irecv group (paper §4.2): all sends of the run are
+	// issued and all receives posted at group entry, then the receives
+	// complete in list order. When false, comm ops execute strictly one at
+	// a time in list order — the NCCL-hazard ablation that can deadlock
+	// bidirectional schedules.
+	BatchComm bool
+}
+
+// DefaultOptions is the paper-faithful interpreter configuration.
+func DefaultOptions() Options { return Options{BatchComm: true} }
+
+// Record is one executed compute action with its time span. The timing
+// backend reports virtual time, the real-tensor backend wall-clock seconds
+// since iteration start; the interpreter collects both into the same
+// per-device timeline shape.
+type Record struct {
+	Action sched.Action
+	Start  float64
+	End    float64
+}
+
+// Backend implements the executor semantics behind the interpreter's
+// hooks. Hooks are invoked per device; under RunConcurrent each device's
+// hooks run on that device's goroutine, so per-device state needs no
+// locking but anything shared across devices does.
+type Backend interface {
+	// Compute executes one OpForward/OpBackward and reports its time span
+	// for the interpreter's Record timeline.
+	Compute(dev int, a sched.Action) (start, end float64, err error)
+	// BeginRun announces entry into a batched comm run: run is the maximal
+	// consecutive comm-op slice and next the list index one past it (for
+	// lookahead-based accounting such as bubble-zone classification).
+	BeginRun(dev int, run []sched.Action, next int) error
+	// Send issues one send of a batched run. It must not block: batched
+	// groups issue every send before any receive completes, which is what
+	// makes bidirectional exchanges deadlock-free.
+	Send(dev int, a sched.Action) error
+	// Post registers one receive of a batched run at group entry — the
+	// prefetch bookkeeping point for timing backends; a no-op for real
+	// transports with buffered mailboxes.
+	Post(dev int, a sched.Action) error
+	// Recv completes one receive. idx is the op's index in the device's
+	// list. Cooperative backends return ErrBlocked if the payload has not
+	// arrived; concurrent backends block until it has.
+	Recv(dev, idx int, a sched.Action) error
+	// Drain executes one strictly-ordered send in unbatched mode:
+	// blocking-send semantics, completing only when the wire accepts the
+	// payload. Cooperative backends may return ErrBlocked.
+	Drain(dev, idx int, a sched.Action) error
+	// Flush handles OpAllReduce and Step handles OpOptimStep. Executors
+	// that synchronize the flush across devices outside the interpreter
+	// (the real runtime joins all workers first) implement these as no-ops.
+	Flush(dev int, a sched.Action) error
+	Step(dev int, a sched.Action) error
+}
+
+// machine is one device's interpreter state.
+type machine struct {
+	dev     int
+	list    []sched.Action
+	pc      int
+	entered bool // current batched run already issued its sends/posts
+	runEnd  int  // one past the current comm run (valid while entered)
+	idx     int  // next op to complete inside the entered run
+}
+
+func isSend(k sched.OpKind) bool { return k == sched.OpSendAct || k == sched.OpSendGrad }
+
+// interp is one interpreter invocation: options plus the collected
+// per-device Record timelines (each device appends only to its own slice).
+type interp struct {
+	opt     Options
+	backend Backend
+	records [][]Record
+}
+
+// step advances device m by at most one instruction group and reports
+// whether it retired anything. A (false, nil) return means the device is
+// finished or blocked; the caller distinguishes via m.pc. This is the one
+// action-list walking loop shared by both executors.
+func (ex *interp) step(m *machine) (bool, error) {
+	if m.pc >= len(m.list) {
+		return false, nil
+	}
+	b := ex.backend
+	a := m.list[m.pc]
+	switch {
+	case a.Kind.IsCompute():
+		start, end, err := b.Compute(m.dev, a)
+		if err != nil {
+			return false, err
+		}
+		ex.records[m.dev] = append(ex.records[m.dev], Record{Action: a, Start: start, End: end})
+		m.pc++
+		return true, nil
+
+	case a.Kind.IsComm():
+		if !ex.opt.BatchComm {
+			// Strict in-order ablation: one comm op per step, sends block.
+			var err error
+			if isSend(a.Kind) {
+				err = b.Drain(m.dev, m.pc, a)
+			} else {
+				err = b.Recv(m.dev, m.pc, a)
+			}
+			if err != nil {
+				if errors.Is(err, ErrBlocked) {
+					return false, nil
+				}
+				return false, err
+			}
+			m.pc++
+			return true, nil
+		}
+		if !m.entered {
+			// Group entry: issue every send and post every receive of the
+			// maximal consecutive comm run, in list order, before waiting
+			// on anything (batch_isend_irecv semantics).
+			m.runEnd = m.pc
+			for m.runEnd < len(m.list) && m.list[m.runEnd].Kind.IsComm() {
+				m.runEnd++
+			}
+			run := m.list[m.pc:m.runEnd]
+			if err := b.BeginRun(m.dev, run, m.runEnd); err != nil {
+				return false, err
+			}
+			for _, op := range run {
+				var err error
+				if isSend(op.Kind) {
+					err = b.Send(m.dev, op)
+				} else {
+					err = b.Post(m.dev, op)
+				}
+				if err != nil {
+					return false, err
+				}
+			}
+			m.entered = true
+			m.idx = m.pc
+			return true, nil
+		}
+		// Waiting phase: complete the run's receives in list order.
+		for m.idx < m.runEnd {
+			op := m.list[m.idx]
+			if isSend(op.Kind) {
+				m.idx++
+				continue
+			}
+			if err := b.Recv(m.dev, m.idx, op); err != nil {
+				if errors.Is(err, ErrBlocked) {
+					return false, nil
+				}
+				return false, err
+			}
+			m.idx++
+		}
+		m.pc = m.runEnd
+		m.entered = false
+		return true, nil
+
+	case a.Kind == sched.OpAllReduce:
+		if err := ex.backend.Flush(m.dev, a); err != nil {
+			return false, err
+		}
+		m.pc++
+		return true, nil
+
+	case a.Kind == sched.OpOptimStep:
+		if err := ex.backend.Step(m.dev, a); err != nil {
+			return false, err
+		}
+		m.pc++
+		return true, nil
+	}
+	m.pc++
+	return true, nil
+}
+
+func newInterp(s *sched.Schedule, b Backend, opt Options) (*interp, []*machine) {
+	ex := &interp{opt: opt, backend: b, records: make([][]Record, s.P)}
+	ms := make([]*machine, s.P)
+	for d := range ms {
+		ms[d] = &machine{dev: d, list: s.Lists[d]}
+	}
+	return ex, ms
+}
+
+// Run drives the interpreter cooperatively in a single goroutine: devices
+// advance round-robin as far as they can, and a full pass with no progress
+// is a communication deadlock. Returns the per-device compute Record
+// timelines. This is the driver for discrete-event (timing) backends.
+func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
+	ex, ms := newInterp(s, b, opt)
+	for {
+		progress := false
+		done := true
+		for d := 0; d < s.P; d++ {
+			for {
+				ok, err := ex.step(ms[d])
+				if err != nil {
+					return ex.records, err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+			}
+			if ms[d].pc < len(ms[d].list) {
+				done = false
+			}
+		}
+		if done {
+			return ex.records, nil
+		}
+		if !progress {
+			for d := 0; d < s.P; d++ {
+				if ms[d].pc < len(ms[d].list) {
+					return ex.records, fmt.Errorf("exec: communication deadlock at device %d op %v (batchComm=%v)",
+						d, ms[d].list[ms[d].pc], opt.BatchComm)
+				}
+			}
+		}
+	}
+}
+
+// RunConcurrent drives the interpreter with one goroutine per device; the
+// backend's Recv blocks instead of returning ErrBlocked. All devices are
+// joined before returning (first hook error wins). This is the driver for
+// real-tensor backends.
+//
+// Caveat: a hook error terminates only that device's walk. If peers are
+// blocked in Recv awaiting payloads the failed device will now never
+// send, and the backend's Recv has no cancellation, the join waits
+// forever. Schedules that pass sched.Validate cannot reach the error
+// paths of the built-in backends, so this only concerns custom backends
+// whose hooks can fail mid-schedule — such backends should make Recv
+// abortable (e.g. observe a done channel) rather than rely on the driver
+// to unblock their peers.
+func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
+	ex, ms := newInterp(s, b, opt)
+	var wg sync.WaitGroup
+	errs := make(chan error, s.P)
+	for d := range ms {
+		wg.Add(1)
+		go func(m *machine) {
+			defer wg.Done()
+			for {
+				ok, err := ex.step(m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					if m.pc < len(m.list) {
+						errs <- fmt.Errorf("exec: backend blocked device %d at %v in concurrent mode",
+							m.dev, m.list[m.pc])
+					}
+					return
+				}
+			}
+		}(ms[d])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return ex.records, err
+	}
+	return ex.records, nil
+}

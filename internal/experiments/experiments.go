@@ -20,6 +20,11 @@ type Experiment struct {
 
 var registry = map[string]Experiment{}
 
+// AutoTuneWorkers bounds the worker pool of the fig10 configuration
+// search: 0 (default) means one worker per CPU, 1 forces the serial sweep.
+// cmd/hanayo-bench threads its -workers flag here.
+var AutoTuneWorkers int
+
 func register(name, title string, run func(w io.Writer) error) {
 	registry[name] = Experiment{Name: name, Title: title, Run: run}
 }

@@ -144,6 +144,7 @@ func fig10(w io.Writer) error {
 		Waves:     []int{1, 2, 4},
 		B:         16,
 		MicroRows: 2, // batch sized to press against the 40 GB limit (§5.3)
+		Workers:   AutoTuneWorkers,
 	})
 	fmt.Fprintf(w, "%-14s %6s %4s %12s %9s %5s\n", "scheme", "P", "D", "seq/s", "peakGB", "OOM")
 	for _, c := range cands {

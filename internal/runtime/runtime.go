@@ -1,17 +1,21 @@
 // Package runtime is Hanayo's pipeline execution engine (paper §4): it
-// interprets the per-device action lists over real transformer stages, with
+// executes the per-device action lists over real transformer stages, with
 // one goroutine per (replica, device), the comm router as transport, data
 // parallel gradient all-reduce at the flush, and an optimizer step. It is
-// the correctness executor: tests prove that every schedule trains with
-// gradients numerically equal to a serial single-device reference.
+// the correctness executor and the real-tensor backend of the shared
+// internal/exec interpreter (internal/sim is the timing backend of the
+// same interpreter): tests prove that every schedule trains with gradients
+// numerically equal to a serial single-device reference.
 package runtime
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/nn"
 	"repro/internal/sched"
 	"repro/internal/tensor"
@@ -177,95 +181,145 @@ func (w *worker) tagGrad(micro, stage, src, dst int) comm.Tag {
 	return comm.Tag{Kind: "grad", Micro: micro, Stage: stage, Src: src, Dst: dst}
 }
 
-func (w *worker) run(list []sched.Action) error {
+// forward runs one OpForward over the stored/pending input.
+func (w *worker) forward(a sched.Action) error {
 	e := w.eng
-	for _, a := range list {
-		switch a.Kind {
-		case sched.OpRecvAct:
-			// Posted receive: Recv blocks until the payload arrives; the
-			// payload is stored as the pending input of (micro, stage).
-			x := w.rep.router.Recv(w.tagAct(a.Micro, a.Stage, a.Peer, w.device))
-			w.acts[actKey{a.Micro, a.Stage}] = &actRecord{in: x}
-
-		case sched.OpForward:
-			key := actKey{a.Micro, a.Stage}
-			rec := w.acts[key]
-			if rec == nil {
-				rec = &actRecord{}
-				w.acts[key] = rec
-			}
-			if rec.in == nil {
-				if a.Stage == 0 {
-					rec.in = w.rep.micros[a.Micro].Inputs
-				} else {
-					prev := w.acts[actKey{a.Micro, a.Stage - 1}]
-					if prev == nil || prev.out == nil {
-						return fmt.Errorf("runtime: device %d: missing local input for %v", w.device, a)
-					}
-					rec.in = prev.out
-				}
-			}
-			st := e.stageFor(w.rep, a.Micro, a.Stage)
-			rec.out, rec.ctx = st.Forward(rec.in)
-			w.holdActivation(rec.out)
-
-		case sched.OpSendAct:
-			// Payload: output of the previous stage (produced locally).
+	key := actKey{a.Micro, a.Stage}
+	rec := w.acts[key]
+	if rec == nil {
+		rec = &actRecord{}
+		w.acts[key] = rec
+	}
+	if rec.in == nil {
+		if a.Stage == 0 {
+			rec.in = w.rep.micros[a.Micro].Inputs
+		} else {
 			prev := w.acts[actKey{a.Micro, a.Stage - 1}]
 			if prev == nil || prev.out == nil {
-				return fmt.Errorf("runtime: device %d: nothing to send for %v", w.device, a)
+				return fmt.Errorf("runtime: device %d: missing local input for %v", w.device, a)
 			}
-			w.rep.router.Send(w.tagAct(a.Micro, a.Stage, w.device, a.Peer), prev.out)
-
-		case sched.OpRecvGrad:
-			g := w.rep.router.Recv(w.tagGrad(a.Micro, a.Stage, a.Peer, w.device))
-			w.dIn[actKey{a.Micro, a.Stage + 1}] = g // gradient w.r.t. stage's output
-
-		case sched.OpBackward:
-			key := actKey{a.Micro, a.Stage}
-			rec := w.acts[key]
-			if rec == nil || rec.ctx == nil {
-				return fmt.Errorf("runtime: device %d: backward before forward for %v", w.device, a)
-			}
-			var dy *tensor.Tensor
-			if a.Stage == e.sch.S-1 {
-				micro := w.rep.micros[a.Micro]
-				loss, d := nn.SoftmaxCrossEntropy(rec.out, micro.Targets)
-				tensor.ScaleInPlace(d, w.scale)
-				w.rep.lossMu.Lock()
-				w.rep.lossSum += loss
-				w.rep.lossMu.Unlock()
-				dy = d
-			} else if g := w.dIn[actKey{a.Micro, a.Stage + 1}]; g != nil {
-				// Either received from the peer or produced locally by the
-				// successor stage's backward on this same device.
-				dy = g
-				delete(w.dIn, actKey{a.Micro, a.Stage + 1})
-			} else {
-				return fmt.Errorf("runtime: device %d: missing output grad for %v", w.device, a)
-			}
-			st := e.stageFor(w.rep, a.Micro, a.Stage)
-			dx := st.Backward(rec.ctx, dy)
-			w.dIn[actKey{a.Micro, a.Stage}] = dx
-			// Free the stored activations: the paper's eager consumption.
-			w.releaseActivation(rec.out)
-			delete(w.acts, key)
-
-		case sched.OpSendGrad:
-			g := w.dIn[actKey{a.Micro, a.Stage + 1}]
-			if g == nil {
-				return fmt.Errorf("runtime: device %d: no grad payload for %v", w.device, a)
-			}
-			w.rep.router.Send(w.tagGrad(a.Micro, a.Stage, w.device, a.Peer), g)
-			delete(w.dIn, actKey{a.Micro, a.Stage + 1})
-
-		case sched.OpAllReduce, sched.OpOptimStep:
-			// Handled by the engine after all workers join the flush.
-			return nil
+			rec.in = prev.out
 		}
+	}
+	st := e.stageFor(w.rep, a.Micro, a.Stage)
+	rec.out, rec.ctx = st.Forward(rec.in)
+	w.holdActivation(rec.out)
+	return nil
+}
+
+// backward runs one OpBackward, sourcing the output gradient from the
+// loss (last stage), a peer transfer, or the local successor stage.
+func (w *worker) backward(a sched.Action) error {
+	e := w.eng
+	key := actKey{a.Micro, a.Stage}
+	rec := w.acts[key]
+	if rec == nil || rec.ctx == nil {
+		return fmt.Errorf("runtime: device %d: backward before forward for %v", w.device, a)
+	}
+	var dy *tensor.Tensor
+	if a.Stage == e.sch.S-1 {
+		micro := w.rep.micros[a.Micro]
+		loss, d := nn.SoftmaxCrossEntropy(rec.out, micro.Targets)
+		tensor.ScaleInPlace(d, w.scale)
+		w.rep.lossMu.Lock()
+		w.rep.lossSum += loss
+		w.rep.lossMu.Unlock()
+		dy = d
+	} else if g := w.dIn[actKey{a.Micro, a.Stage + 1}]; g != nil {
+		// Either received from the peer or produced locally by the
+		// successor stage's backward on this same device.
+		dy = g
+		delete(w.dIn, actKey{a.Micro, a.Stage + 1})
+	} else {
+		return fmt.Errorf("runtime: device %d: missing output grad for %v", w.device, a)
+	}
+	st := e.stageFor(w.rep, a.Micro, a.Stage)
+	dx := st.Backward(rec.ctx, dy)
+	w.dIn[actKey{a.Micro, a.Stage}] = dx
+	// Free the stored activations: the paper's eager consumption.
+	w.releaseActivation(rec.out)
+	delete(w.acts, key)
+	return nil
+}
+
+// send issues one OpSendAct/OpSendGrad through the router (never blocks).
+func (w *worker) send(a sched.Action) error {
+	switch a.Kind {
+	case sched.OpSendAct:
+		// Payload: output of the previous stage (produced locally).
+		prev := w.acts[actKey{a.Micro, a.Stage - 1}]
+		if prev == nil || prev.out == nil {
+			return fmt.Errorf("runtime: device %d: nothing to send for %v", w.device, a)
+		}
+		w.rep.router.Send(w.tagAct(a.Micro, a.Stage, w.device, a.Peer), prev.out)
+	case sched.OpSendGrad:
+		g := w.dIn[actKey{a.Micro, a.Stage + 1}]
+		if g == nil {
+			return fmt.Errorf("runtime: device %d: no grad payload for %v", w.device, a)
+		}
+		w.rep.router.Send(w.tagGrad(a.Micro, a.Stage, w.device, a.Peer), g)
+		delete(w.dIn, actKey{a.Micro, a.Stage + 1})
 	}
 	return nil
 }
+
+// recv completes one posted receive: Recv blocks until the payload
+// arrives and stores it for the consuming compute op.
+func (w *worker) recv(a sched.Action) error {
+	switch a.Kind {
+	case sched.OpRecvAct:
+		x := w.rep.router.Recv(w.tagAct(a.Micro, a.Stage, a.Peer, w.device))
+		w.acts[actKey{a.Micro, a.Stage}] = &actRecord{in: x}
+	case sched.OpRecvGrad:
+		g := w.rep.router.Recv(w.tagGrad(a.Micro, a.Stage, a.Peer, w.device))
+		w.dIn[actKey{a.Micro, a.Stage + 1}] = g // gradient w.r.t. stage's output
+	}
+	return nil
+}
+
+// rtBackend is one replica's real-tensor implementation of exec.Backend.
+// Each device's hooks run on that device's interpreter goroutine and only
+// touch that device's worker; the router and loss accumulator are the
+// shared, locked state. Compute spans are wall-clock seconds since the
+// iteration started, so the interpreter's Record timeline is a real Gantt
+// chart of the training step.
+type rtBackend struct {
+	workers []*worker
+	t0      time.Time
+}
+
+func (b *rtBackend) Compute(d int, a sched.Action) (float64, float64, error) {
+	w := b.workers[d]
+	start := time.Since(b.t0).Seconds()
+	var err error
+	if a.Kind == sched.OpForward {
+		err = w.forward(a)
+	} else {
+		err = w.backward(a)
+	}
+	return start, time.Since(b.t0).Seconds(), err
+}
+
+func (b *rtBackend) BeginRun(d int, run []sched.Action, next int) error { return nil }
+
+func (b *rtBackend) Send(d int, a sched.Action) error { return b.workers[d].send(a) }
+
+// Post is a no-op: the router's mailboxes buffer every send, so receives
+// need no ahead-of-time registration.
+func (b *rtBackend) Post(d int, a sched.Action) error { return nil }
+
+func (b *rtBackend) Recv(d, idx int, a sched.Action) error { return b.workers[d].recv(a) }
+
+// Drain (unbatched strict-order send) degenerates to a plain send: the
+// in-process router never blocks a sender, so the NCCL blocking-send
+// hazard cannot occur here — only the simulator models it.
+func (b *rtBackend) Drain(d, idx int, a sched.Action) error { return b.workers[d].send(a) }
+
+// Flush and Step are engine-level: Engine.Step joins all workers first,
+// then all-reduces gradients and steps the optimizers.
+func (b *rtBackend) Flush(d int, a sched.Action) error { return nil }
+
+func (b *rtBackend) Step(d int, a sched.Action) error { return nil }
 
 // Result reports one training iteration.
 type Result struct {
@@ -275,37 +329,51 @@ type Result struct {
 	// device (max over replicas) — the runtime counterpart of the
 	// simulator's PeakActs.
 	PeakActBytes []int64
+	// Records is replica 0's per-device compute timeline from the shared
+	// interpreter (wall-clock seconds since iteration start) — the same
+	// Record shape the simulator produces in virtual time.
+	Records [][]exec.Record
 }
 
 // Step runs one synchronous training iteration on batch. The batch is
 // split into DP·B micro-batches: replica r takes micros r·B … (r+1)·B−1.
+// Each replica runs the shared exec interpreter concurrently (one
+// goroutine per device); the flush joins every worker before the
+// all-reduce and optimizer step.
 func (e *Engine) Step(batch *data.Batch) (*Result, error) {
 	b := e.sch.B
 	micros := data.SplitMicro(batch, b*e.cfg.DP)
 	var wg sync.WaitGroup
-	errs := make(chan error, e.cfg.DP*e.sch.P)
+	errs := make(chan error, e.cfg.DP)
 	peaks := make([]int64, e.cfg.DP*e.sch.P)
+	recs := make([][][]exec.Record, e.cfg.DP)
+	t0 := time.Now()
 	for ri, rep := range e.replicas {
 		rep.micros = micros[ri*b : (ri+1)*b]
 		rep.lossSum = 0
+		workers := make([]*worker, e.sch.P)
 		for d := 0; d < e.sch.P; d++ {
-			wg.Add(1)
-			go func(ri int, rep *replica, d int) {
-				defer wg.Done()
-				w := &worker{
-					eng:    e,
-					rep:    rep,
-					device: d,
-					acts:   map[actKey]*actRecord{},
-					dIn:    map[actKey]*tensor.Tensor{},
-					scale:  1 / float32(b*e.cfg.DP),
-				}
-				if err := w.run(e.sch.Lists[d]); err != nil {
-					errs <- err
-				}
-				peaks[ri*e.sch.P+d] = w.peakBytes
-			}(ri, rep, d)
+			workers[d] = &worker{
+				eng:    e,
+				rep:    rep,
+				device: d,
+				acts:   map[actKey]*actRecord{},
+				dIn:    map[actKey]*tensor.Tensor{},
+				scale:  1 / float32(b*e.cfg.DP),
+			}
 		}
+		wg.Add(1)
+		go func(ri int, workers []*worker) {
+			defer wg.Done()
+			r, err := exec.RunConcurrent(e.sch, &rtBackend{workers: workers, t0: t0}, exec.DefaultOptions())
+			if err != nil {
+				errs <- err
+			}
+			recs[ri] = r
+			for d, w := range workers {
+				peaks[ri*e.sch.P+d] = w.peakBytes
+			}
+		}(ri, workers)
 	}
 	wg.Wait()
 	close(errs)
@@ -322,7 +390,7 @@ func (e *Engine) Step(batch *data.Batch) (*Result, error) {
 		rep.opt.Step(paramsOf(rep))
 	}
 
-	res := &Result{PeakActBytes: make([]int64, e.sch.P)}
+	res := &Result{PeakActBytes: make([]int64, e.sch.P), Records: recs[0]}
 	for ri, rep := range e.replicas {
 		res.Loss += rep.lossSum
 		res.CommStats = append(res.CommStats, rep.router.Stats())

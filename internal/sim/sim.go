@@ -1,14 +1,16 @@
 // Package sim is the discrete-event executor that measures a schedule
 // against a cost model: makespan, per-device busy/idle time, bubble-zone
 // decomposition (paper Fig 7), live-activation peaks and a full timeline
-// for Gantt rendering. Together with internal/runtime (which executes the
-// same action lists over real tensors) it forms the two-executor design:
-// sim answers "how fast", runtime answers "is it correct".
+// for Gantt rendering. It is the timing backend of the shared internal/exec
+// interpreter; internal/runtime plugs a real-tensor backend into the same
+// interpreter, which is the two-executor design: sim answers "how fast",
+// runtime answers "is it correct", and both walk identical action lists.
 package sim
 
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/sched"
 )
 
@@ -56,7 +58,8 @@ type Options struct {
 	// BatchComm issues all sends of a consecutive communication run at
 	// group entry (batch_isend_irecv semantics). When false, ops within a
 	// run execute strictly in order, which can deadlock bidirectional
-	// schedules — exactly the NCCL hazard the paper describes.
+	// schedules — exactly the NCCL hazard the paper describes. This is the
+	// interpreter-level exec.Options.BatchComm knob.
 	BatchComm bool
 	// FlushTime charges a fixed duration for the gradient all-reduce.
 	FlushTime float64
@@ -65,12 +68,9 @@ type Options struct {
 // DefaultOptions is the paper-faithful configuration.
 func DefaultOptions() Options { return Options{Prefetch: true, BatchComm: true} }
 
-// Record is one executed action with its time span.
-type Record struct {
-	Action sched.Action
-	Start  float64
-	End    float64
-}
+// Record is one executed action with its time span — the shared
+// interpreter's timeline entry.
+type Record = exec.Record
 
 // Result summarizes one simulated iteration.
 type Result struct {
@@ -121,288 +121,236 @@ type transfer struct {
 	resolved bool
 }
 
-// Run executes the schedule against the cost model.
+// backend is the timing implementation of exec.Backend: virtual per-device
+// clocks, a transfer table with link serialization, and the Fig 7 zone
+// decomposition of every wait.
+type backend struct {
+	s    *sched.Schedule
+	cost Cost
+	opt  Options
+	res  *Result
+
+	transfers map[msgKey]*transfer
+	linkFree  map[[2]int]float64
+	// Per directed link, sends resolve in issue order; since a directed
+	// link has a unique sender walking its list serially, issue order is
+	// program order and we can resolve eagerly with linkFree.
+
+	time     []float64
+	liveActs []int
+	// pendingZone is the zone any wait inside the current batched comm run
+	// charges to, classified at group entry.
+	pendingZone []Zone
+}
+
+// classify looks past index i in device d's list for the next compute op
+// to name the zone an upcoming wait belongs to (Fig 7).
+func (b *backend) classify(d, i int) Zone {
+	list := b.s.Lists[d]
+	sawBackward := false
+	for j := i; j < len(list); j++ {
+		switch list[j].Kind {
+		case sched.OpForward:
+			if sawBackward {
+				return ZoneB
+			}
+			return ZoneA
+		case sched.OpBackward:
+			sawBackward = true
+			// Keep scanning: a later forward means mid-pipeline (B),
+			// none means the tail (C).
+		}
+	}
+	return ZoneC
+}
+
+func (b *backend) resolveSend(k msgKey, tr *transfer) {
+	if tr.resolved || !tr.issued {
+		return
+	}
+	if !b.opt.Prefetch && !tr.posted {
+		return
+	}
+	start := tr.issue
+	if !b.opt.Prefetch && tr.post > start {
+		start = tr.post
+	}
+	lk := [2]int{k.src, k.dst}
+	if b.linkFree[lk] > start {
+		start = b.linkFree[lk]
+	}
+	dur := b.cost.CommTime(k.src, k.dst)
+	b.linkFree[lk] = start + dur
+	tr.arrival = start + dur
+	tr.resolved = true
+}
+
+func (b *backend) getTransfer(k msgKey) *transfer {
+	tr := b.transfers[k]
+	if tr == nil {
+		tr = &transfer{}
+		b.transfers[k] = tr
+	}
+	return tr
+}
+
+func keyOf(d int, a sched.Action) msgKey {
+	switch a.Kind {
+	case sched.OpSendAct:
+		return msgKey{sched.OpSendAct, a.Micro, a.Stage, d, a.Peer}
+	case sched.OpSendGrad:
+		return msgKey{sched.OpSendGrad, a.Micro, a.Stage, d, a.Peer}
+	case sched.OpRecvAct:
+		return msgKey{sched.OpSendAct, a.Micro, a.Stage, a.Peer, d}
+	case sched.OpRecvGrad:
+		return msgKey{sched.OpSendGrad, a.Micro, a.Stage, a.Peer, d}
+	}
+	panic("sim: not a comm op")
+}
+
+func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
+	dur := b.cost.ForwardTime(d, a.Stage)
+	if a.Kind == sched.OpBackward {
+		dur = b.cost.BackwardTime(d, a.Stage)
+	}
+	start := b.time[d]
+	end := start + dur
+	b.res.Busy[d] += dur
+	b.time[d] = end
+	if a.Kind == sched.OpForward {
+		b.liveActs[d]++
+		if b.liveActs[d] > b.res.PeakActs[d] {
+			b.res.PeakActs[d] = b.liveActs[d]
+		}
+	} else {
+		b.liveActs[d]--
+	}
+	return start, end, nil
+}
+
+func (b *backend) BeginRun(d int, run []sched.Action, next int) error {
+	// A run that both sends and receives is a batched bidirectional
+	// exchange; its waits are cross-communication bubbles. Otherwise the
+	// wait belongs to the zone of the next compute op past the run.
+	hasSend, hasRecv := false, false
+	for _, op := range run {
+		if op.Kind == sched.OpSendAct || op.Kind == sched.OpSendGrad {
+			hasSend = true
+		} else {
+			hasRecv = true
+		}
+	}
+	if hasSend && hasRecv {
+		b.pendingZone[d] = ZoneCross
+	} else {
+		b.pendingZone[d] = b.classify(d, next)
+	}
+	return nil
+}
+
+func (b *backend) Send(d int, a sched.Action) error {
+	k := keyOf(d, a)
+	tr := b.getTransfer(k)
+	tr.issue = b.time[d]
+	tr.issued = true
+	b.resolveSend(k, tr)
+	return nil
+}
+
+func (b *backend) Post(d int, a sched.Action) error {
+	k := keyOf(d, a)
+	tr := b.getTransfer(k)
+	tr.post = b.time[d]
+	tr.posted = true
+	b.resolveSend(k, tr)
+	return nil
+}
+
+// wait advances device d's clock to the arrival, charging the idle gap to
+// zone z. Successive waits of one run telescope to the run's max arrival.
+func (b *backend) wait(d int, arrival float64, z Zone) {
+	if arrival > b.time[d] {
+		b.res.Zones[z] += arrival - b.time[d]
+		b.time[d] = arrival
+	}
+}
+
+func (b *backend) Recv(d, idx int, a sched.Action) error {
+	k := keyOf(d, a)
+	tr := b.getTransfer(k)
+	if !tr.posted {
+		// Unbatched mode posts at the op itself, not at group entry.
+		tr.post = b.time[d]
+		tr.posted = true
+	}
+	b.resolveSend(k, tr)
+	if !tr.resolved {
+		return exec.ErrBlocked
+	}
+	z := b.pendingZone[d]
+	if !b.opt.BatchComm {
+		z = b.classify(d, idx+1)
+	}
+	b.wait(d, tr.arrival, z)
+	return nil
+}
+
+func (b *backend) Drain(d, idx int, a sched.Action) error {
+	// Strictly ordered blocking send (unbatched ablation): the device
+	// occupies the wire until the transfer completes.
+	k := keyOf(d, a)
+	tr := b.getTransfer(k)
+	if !tr.issued {
+		tr.issue = b.time[d]
+		tr.issued = true
+	}
+	b.resolveSend(k, tr)
+	if !tr.resolved {
+		return exec.ErrBlocked
+	}
+	b.wait(d, tr.arrival, ZoneCross)
+	return nil
+}
+
+func (b *backend) Flush(d int, a sched.Action) error {
+	b.time[d] += b.opt.FlushTime
+	return nil
+}
+
+func (b *backend) Step(d int, a sched.Action) error { return nil }
+
+// Run executes the schedule against the cost model through the shared
+// interpreter.
 func Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
 	p := s.P
 	res := &Result{
 		Schedule: s,
 		Busy:     make([]float64, p),
 		End:      make([]float64, p),
-		Records:  make([][]Record, p),
 		PeakActs: make([]int, p),
 		Zones:    map[Zone]float64{},
 	}
-
-	transfers := map[msgKey]*transfer{}
-	linkFree := map[[2]int]float64{}
-	// Per directed link, sends resolve in issue order; since a directed
-	// link has a unique sender walking its list serially, issue order is
-	// program order and we can resolve eagerly with linkFree.
-
-	time := make([]float64, p)
-	pc := make([]int, p)
-	liveActs := make([]int, p)
-	// runEntered marks a batched comm run whose sends were already issued.
-	runEntered := make([]int, p)
-	for d := range runEntered {
-		runEntered[d] = -1
+	be := &backend{
+		s:           s,
+		cost:        cost,
+		opt:         opt,
+		res:         res,
+		transfers:   map[msgKey]*transfer{},
+		linkFree:    map[[2]int]float64{},
+		time:        make([]float64, p),
+		liveActs:    make([]int, p),
+		pendingZone: make([]Zone, p),
 	}
-	// seqPtr is the intra-run pointer for the unbatched ablation.
-	seqPtr := make([]int, p)
-
-	// commRunEnd returns the index one past the run of comm ops at i.
-	commRunEnd := func(d, i int) int {
-		list := s.Lists[d]
-		j := i
-		for j < len(list) && list[j].Kind.IsComm() {
-			j++
-		}
-		return j
+	recs, err := exec.Run(s, be, exec.Options{BatchComm: opt.BatchComm})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-
-	// nextComputeKind looks past index i for zone classification.
-	classify := func(d, i int) Zone {
-		list := s.Lists[d]
-		sawBackward := false
-		for j := i; j < len(list); j++ {
-			switch list[j].Kind {
-			case sched.OpForward:
-				if sawBackward {
-					return ZoneB
-				}
-				return ZoneA
-			case sched.OpBackward:
-				sawBackward = true
-				// Keep scanning: a later forward means mid-pipeline (B),
-				// none means the tail (C).
-			}
-		}
-		if sawBackward {
-			return ZoneC
-		}
-		return ZoneC
-	}
-
-	resolveSend := func(k msgKey, tr *transfer) bool {
-		if tr.resolved || !tr.issued {
-			return false
-		}
-		if !opt.Prefetch && !tr.posted {
-			return false
-		}
-		start := tr.issue
-		if !opt.Prefetch && tr.post > start {
-			start = tr.post
-		}
-		lk := [2]int{k.src, k.dst}
-		if linkFree[lk] > start {
-			start = linkFree[lk]
-		}
-		dur := cost.CommTime(k.src, k.dst)
-		linkFree[lk] = start + dur
-		tr.arrival = start + dur
-		tr.resolved = true
-		return true
-	}
-
-	getTransfer := func(k msgKey) *transfer {
-		tr := transfers[k]
-		if tr == nil {
-			tr = &transfer{}
-			transfers[k] = tr
-		}
-		return tr
-	}
-
-	keyOf := func(d int, a sched.Action) msgKey {
-		switch a.Kind {
-		case sched.OpSendAct:
-			return msgKey{sched.OpSendAct, a.Micro, a.Stage, d, a.Peer}
-		case sched.OpSendGrad:
-			return msgKey{sched.OpSendGrad, a.Micro, a.Stage, d, a.Peer}
-		case sched.OpRecvAct:
-			return msgKey{sched.OpSendAct, a.Micro, a.Stage, a.Peer, d}
-		case sched.OpRecvGrad:
-			return msgKey{sched.OpSendGrad, a.Micro, a.Stage, a.Peer, d}
-		}
-		panic("sim: not a comm op")
-	}
-
-	// advance tries to move device d one group forward; returns progress.
-	advance := func(d int) bool {
-		list := s.Lists[d]
-		if pc[d] >= len(list) {
-			return false
-		}
-		a := list[pc[d]]
-		switch {
-		case a.Kind == sched.OpForward || a.Kind == sched.OpBackward:
-			dur := cost.ForwardTime(d, a.Stage)
-			if a.Kind == sched.OpBackward {
-				dur = cost.BackwardTime(d, a.Stage)
-			}
-			start := time[d]
-			end := start + dur
-			res.Records[d] = append(res.Records[d], Record{Action: a, Start: start, End: end})
-			res.Busy[d] += dur
-			time[d] = end
-			if a.Kind == sched.OpForward {
-				liveActs[d]++
-				if liveActs[d] > res.PeakActs[d] {
-					res.PeakActs[d] = liveActs[d]
-				}
-			} else {
-				liveActs[d]--
-			}
-			pc[d]++
-			return true
-
-		case a.Kind.IsComm():
-			runEnd := commRunEnd(d, pc[d])
-			if opt.BatchComm {
-				if runEntered[d] != pc[d] {
-					// Entering the run: issue all sends, post all recvs.
-					for i := pc[d]; i < runEnd; i++ {
-						op := list[i]
-						k := keyOf(d, op)
-						tr := getTransfer(k)
-						switch op.Kind {
-						case sched.OpSendAct, sched.OpSendGrad:
-							tr.issue = time[d]
-							tr.issued = true
-							resolveSend(k, tr)
-						default:
-							tr.post = time[d]
-							tr.posted = true
-							resolveSend(k, tr)
-						}
-					}
-					runEntered[d] = pc[d]
-					return true
-				}
-				// Waiting for all recvs in the run to arrive.
-				wait := time[d]
-				cross := false
-				hasSend := false
-				hasRecvFrom := map[int]bool{}
-				for i := pc[d]; i < runEnd; i++ {
-					op := list[i]
-					if op.Kind == sched.OpSendAct || op.Kind == sched.OpSendGrad {
-						hasSend = true
-						if hasRecvFrom[op.Peer] {
-							cross = true
-						}
-						continue
-					}
-					hasRecvFrom[op.Peer] = true
-					tr := getTransfer(keyOf(d, op))
-					if !tr.resolved {
-						return false
-					}
-					if tr.arrival > wait {
-						wait = tr.arrival
-					}
-				}
-				// A run that both sends to and receives from the same
-				// neighborhood is a bidirectional exchange.
-				if hasSend && len(hasRecvFrom) > 0 {
-					cross = true
-				}
-				if wait > time[d] {
-					z := classify(d, runEnd)
-					if cross {
-						z = ZoneCross
-					}
-					res.Zones[z] += wait - time[d]
-					time[d] = wait
-				}
-				pc[d] = runEnd
-				runEntered[d] = -1
-				return true
-			}
-			// Unbatched ablation: strict in-order comm.
-			op := list[pc[d]+seqPtr[d]]
-			k := keyOf(d, op)
-			tr := getTransfer(k)
-			switch op.Kind {
-			case sched.OpSendAct, sched.OpSendGrad:
-				if !tr.issued {
-					tr.issue = time[d]
-					tr.issued = true
-				}
-				resolveSend(k, tr)
-				if !tr.resolved {
-					return false
-				}
-				// Blocking send: device waits for the wire.
-				if tr.arrival > time[d] {
-					res.Zones[ZoneCross] += tr.arrival - time[d]
-					time[d] = tr.arrival
-				}
-			default:
-				if !tr.posted {
-					tr.post = time[d]
-					tr.posted = true
-				}
-				resolveSend(k, tr)
-				if !tr.resolved {
-					return false
-				}
-				if tr.arrival > time[d] {
-					res.Zones[classify(d, pc[d]+seqPtr[d]+1)] += tr.arrival - time[d]
-					time[d] = tr.arrival
-				}
-			}
-			seqPtr[d]++
-			if pc[d]+seqPtr[d] >= runEnd {
-				pc[d] = runEnd
-				seqPtr[d] = 0
-			}
-			return true
-
-		case a.Kind == sched.OpAllReduce:
-			time[d] += opt.FlushTime
-			pc[d]++
-			return true
-		case a.Kind == sched.OpOptimStep:
-			pc[d]++
-			return true
-		}
-		pc[d]++
-		return true
-	}
-
-	for {
-		progress := false
-		done := true
-		for d := 0; d < p; d++ {
-			for advance(d) {
-				progress = true
-			}
-			if pc[d] < len(s.Lists[d]) {
-				done = false
-			}
-		}
-		if done {
-			break
-		}
-		if !progress {
-			d0 := 0
-			for d := 0; d < p; d++ {
-				if pc[d] < len(s.Lists[d]) {
-					d0 = d
-					break
-				}
-			}
-			return nil, fmt.Errorf("sim: communication deadlock at device %d op %v (batchComm=%v)",
-				d0, s.Lists[d0][pc[d0]], opt.BatchComm)
-		}
-	}
+	res.Records = recs
 
 	for d := 0; d < p; d++ {
-		res.End[d] = time[d]
-		if time[d] > res.Makespan {
-			res.Makespan = time[d]
+		res.End[d] = be.time[d]
+		if be.time[d] > res.Makespan {
+			res.Makespan = be.time[d]
 		}
 	}
 	// Tail idle: devices finished before the global flush point.
