@@ -106,6 +106,67 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRun is the allocation benchmark of the dense simulator
+// backend (run with -benchmem): one discrete-event execution of an
+// 8-device 2-wave schedule against a calibrated cluster cost model. The
+// allocs/op figure is the regression headline — the map-based backend
+// this replaced allocated per transfer, per link and per Records growth;
+// the dense backend performs only its fixed setup allocations.
+func BenchmarkSimRun(b *testing.B) {
+	s, err := sched.Hanayo(8, 2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := costmodel.New(costmodel.Workload{Model: nn.BERTStyle(), MicroRows: 2},
+		cluster.TACC(8), s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(s, cost, sim.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NumActions()), "ops/run")
+}
+
+// BenchmarkEvaluate measures one single-pass candidate evaluation — the
+// unit of work the Fig 10 search performs per (scheme, P, B) key: one
+// simulation yielding memory estimate, feasibility and throughput
+// together (the pre-Evaluate design simulated twice per candidate).
+func BenchmarkEvaluate(b *testing.B) {
+	plan := core.Plan{Scheme: "hanayo-w2", Cluster: cluster.TACC(8),
+		Model: nn.BERTStyle(), P: 8, D: 1, B: 16, MicroRows: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := plan.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.Throughput <= 0 {
+			b.Fatal("zero throughput")
+		}
+	}
+}
+
+// BenchmarkMemTrace measures the sim-free memory replay backend.
+func BenchmarkMemTrace(b *testing.B) {
+	plan := core.Plan{Scheme: "hanayo-w2", Cluster: cluster.TACC(8),
+		Model: nn.BERTStyle(), P: 8, D: 1, B: 16, MicroRows: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mt, err := plan.MemTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mt.Curves) != 8 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
 // BenchmarkRuntimeIteration measures one real training iteration of the
 // goroutine pipeline runtime (tiny model, 4 devices, 2 waves).
 func BenchmarkRuntimeIteration(b *testing.B) {

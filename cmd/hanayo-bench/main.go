@@ -6,13 +6,20 @@
 //	hanayo-bench             # run everything
 //	hanayo-bench -exp fig09  # run one experiment
 //	hanayo-bench -exp fig10 -workers 1   # serial configuration search
+//	hanayo-bench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //	hanayo-bench -list       # list experiment ids
+//
+// The profile flags write standard pprof files (`go tool pprof cpu.prof`)
+// covering exactly the experiment run — the supported way to profile the
+// sweep and simulator hot paths.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -21,6 +28,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (e.g. fig01); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
 	experiments.AutoTuneWorkers = *workers
 
@@ -31,6 +40,20 @@ func main() {
 		}
 		return
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal flushes the profile too: os.Exit skips defers, and a
+		// truncated pprof file is worse than none.
+		stopProfile = pprof.StopCPUProfile
+		defer pprof.StopCPUProfile()
+	}
 	var err error
 	if *exp == "" {
 		err = experiments.RunAll(os.Stdout)
@@ -38,7 +61,26 @@ func main() {
 		err = experiments.Run(*exp, os.Stdout)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hanayo-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained set before the heap snapshot
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
+	}
+}
+
+// stopProfile is set once CPU profiling starts so error exits still flush.
+var stopProfile = func() {}
+
+func fatal(err error) {
+	stopProfile()
+	fmt.Fprintln(os.Stderr, "hanayo-bench:", err)
+	os.Exit(1)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"time"
 
 	hanayo "repro"
 )
@@ -17,15 +18,19 @@ func main() {
 	fmt.Printf("searching schemes × (P, D) × waves for %s on %d×%s (%d workers)\n\n",
 		model.Name, cl.N(), cl.Devices[0].Name, runtime.NumCPU())
 
+	start := time.Now()
 	cands := hanayo.AutoTune(cl, model, hanayo.SearchSpace{
 		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
 		Waves:     []int{1, 2, 4},
 		B:         16,
 		MicroRows: 2,
 		// One sweep worker per CPU; the candidate ranking is identical to
-		// the serial sweep (Workers: 1).
+		// the serial sweep (Workers: 1). Each candidate costs one
+		// simulation (memory + feasibility + throughput come from a single
+		// Evaluate pass), shared across candidates that differ only in D.
 		Workers: runtime.NumCPU(),
 	})
+	elapsed := time.Since(start)
 	fmt.Printf("%-14s %4s %4s %10s %8s\n", "scheme", "P", "D", "seq/s", "peakGB")
 	for _, c := range cands {
 		thr := fmt.Sprintf("%.1f", c.Throughput)
@@ -41,4 +46,6 @@ func main() {
 	}
 	fmt.Printf("\nwinner: %s with P=%d, D=%d at %.1f sequences/s\n",
 		best.Plan.Scheme, best.Plan.P, best.Plan.D, best.Throughput)
+	fmt.Printf("swept %d candidates in %v (single-pass evaluation, cached per scheme×P×B)\n",
+		len(cands), elapsed.Round(time.Millisecond))
 }

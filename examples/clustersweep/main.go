@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"time"
 
 	hanayo "repro"
 )
@@ -16,6 +17,7 @@ import (
 func main() {
 	model := hanayo.BERTStyle()
 	waves := []int{1, 2, 4, 8}
+	start := time.Now()
 	fmt.Println("BERT-style, 8 devices per cluster, throughput in sequences/s")
 	fmt.Printf("%-6s %10s %10s %10s %10s %12s\n", "clus", "W=1", "W=2", "W=4", "W=8", "best")
 	for _, name := range []string{"pc", "fc", "tacc", "tc"} {
@@ -64,4 +66,6 @@ func main() {
 			fmt.Printf("   best W=%d (%.2f seq/s)\n", bestW, bestThr)
 		}
 	}
+	fmt.Printf("\nfour clusters swept in %v: one simulation per wave setting per cluster\n",
+		time.Since(start).Round(time.Millisecond))
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/exec"
 	"repro/internal/memmodel"
+	"repro/internal/memtrace"
 	"repro/internal/nn"
 	"repro/internal/perfmodel"
 	"repro/internal/runtime"
@@ -47,6 +48,13 @@ type (
 	Candidate = core.Candidate
 	// SearchSpace bounds AutoTune.
 	SearchSpace = core.SearchSpace
+	// Eval is a plan's complete single-pass evaluation: one simulation
+	// yields the memory estimate, feasibility and throughput together
+	// (Plan.Evaluate / Plan.EvaluateOpts).
+	Eval = core.Eval
+	// EvalOptions tunes Plan.EvaluateOpts (executor options, or the
+	// sim-free AnalyticOnly memory path).
+	EvalOptions = core.EvalOptions
 )
 
 // AutoTune sweeps plans over a cluster as in Fig 10.
@@ -102,7 +110,17 @@ type (
 	// ExecRecord is one executed compute action with its time span, the
 	// timeline entry both executors produce.
 	ExecRecord = exec.Record
+	// MemTraceResult is one memory-replay execution: per-device live-byte
+	// curves and activation peaks, measured without tensor math or a
+	// timing model (the third backend of the shared interpreter).
+	MemTraceResult = memtrace.Result
+	// MemTraceSample is one point of a device's live-byte curve.
+	MemTraceSample = memtrace.Sample
 )
+
+// RunMemTrace replays a schedule against the memory model only (the
+// measured Fig 8 distribution); Plan.MemTrace is the planner-level entry.
+var RunMemTrace = memtrace.Run
 
 // Interpreter drivers for custom backends: Interpret walks all devices
 // cooperatively (discrete-event style, ErrBlocked to yield), and

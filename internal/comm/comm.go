@@ -87,22 +87,36 @@ func (r *Router) Send(t Tag, payload *tensor.Tensor) {
 
 // Recv blocks until the payload tagged t arrives.
 func (r *Router) Recv(t Tag) *tensor.Tensor {
+	p, _ := r.RecvAbort(t, nil)
+	return p
+}
+
+// RecvAbort blocks like Recv but additionally observes a cancellation
+// channel: when done closes before the payload arrives it returns
+// ok=false. A nil done degenerates to Recv. This is what lets the exec
+// interpreter's concurrent driver tear down peers after a hook error
+// instead of leaving them blocked forever.
+func (r *Router) RecvAbort(t Tag, done <-chan struct{}) (*tensor.Tensor, bool) {
 	ch := r.box(t)
 	select {
 	case p := <-ch:
 		r.mu.Lock()
 		r.stats.PrefetchHits++
 		r.mu.Unlock()
-		return p
+		return p, true
 	default:
 	}
 	start := time.Now()
-	p := <-ch
-	r.mu.Lock()
-	r.stats.RecvWaits++
-	r.stats.WaitTime += time.Since(start)
-	r.mu.Unlock()
-	return p
+	select {
+	case p := <-ch:
+		r.mu.Lock()
+		r.stats.RecvWaits++
+		r.stats.WaitTime += time.Since(start)
+		r.mu.Unlock()
+		return p, true
+	case <-done:
+		return nil, false
+	}
 }
 
 // TryRecv returns the payload if already delivered.

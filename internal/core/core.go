@@ -11,10 +11,12 @@ import (
 	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/memmodel"
+	"repro/internal/memtrace"
 	"repro/internal/nn"
 	"repro/internal/runtime"
 	"repro/internal/sched"
@@ -31,26 +33,33 @@ type Plan struct {
 	B         int // micro-batches per replica per iteration
 	MicroRows int // sequences per micro-batch
 
-	// cache memoizes generated+validated schedules across plans that share
-	// (Scheme, P, B) — identical action lists are built once per AutoTune
-	// sweep instead of once per candidate. Nil (the zero value) means no
+	// cache memoizes generated+validated schedules AND full single-pass
+	// evaluations across plans that share (Scheme, P, B) — identical
+	// action lists are built once and simulated once per AutoTune sweep
+	// instead of once per candidate. Nil (the zero value) means no
 	// memoization; AutoTune installs one per sweep.
-	cache *schedCache
+	cache *sweepCache
 }
 
 // schedKey identifies one action-list program: schedules depend only on
-// the scheme and the (P, B) shape, not on cluster, model or D.
+// the scheme and the (P, B) shape, not on cluster, model or D. The same
+// key indexes cached evaluations, which is sound only because cluster,
+// model and MicroRows are constant across one sweep and the per-replica
+// simulation is D-invariant (replicas are identical and concurrent; only
+// the final throughput scales by D, which Evaluate applies per plan).
 type schedKey struct {
 	scheme string
 	p, b   int
 }
 
-// schedCache memoizes schedule generation and validation. Entries are
-// built exactly once (sync.Once) even under the parallel sweep; the
-// cached *sched.Schedule is shared read-only by every executor.
-type schedCache struct {
-	mu sync.Mutex
-	m  map[schedKey]*schedEntry
+// sweepCache memoizes schedule generation/validation and default-options
+// plan evaluations. Entries are built exactly once (sync.Once) even under
+// the parallel sweep; the cached *sched.Schedule and *evalShared are
+// shared read-only by every worker.
+type sweepCache struct {
+	mu    sync.Mutex
+	sched map[schedKey]*schedEntry
+	eval  map[schedKey]*evalEntry
 }
 
 type schedEntry struct {
@@ -59,19 +68,51 @@ type schedEntry struct {
 	err  error
 }
 
-func newSchedCache() *schedCache { return &schedCache{m: map[schedKey]*schedEntry{}} }
+// evalShared is the D-invariant slice of one evaluation: everything a
+// candidate needs except the ×D throughput scaling.
+type evalShared struct {
+	sim        *sim.Result
+	mt         *memtrace.Result // AnalyticOnly path only
+	mem        *memmodel.Estimate
+	fits       bool
+	perReplica float64 // sequences/s of one replica
+}
 
-func (c *schedCache) get(scheme string, p, b int) (*sched.Schedule, error) {
+type evalEntry struct {
+	once sync.Once
+	e    *evalShared
+	err  error
+}
+
+func newSweepCache() *sweepCache {
+	return &sweepCache{sched: map[schedKey]*schedEntry{}, eval: map[schedKey]*evalEntry{}}
+}
+
+func (c *sweepCache) get(scheme string, p, b int) (*sched.Schedule, error) {
 	k := schedKey{scheme, p, b}
 	c.mu.Lock()
-	e, ok := c.m[k]
+	e, ok := c.sched[k]
 	if !ok {
 		e = &schedEntry{}
-		c.m[k] = e
+		c.sched[k] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.s, e.err = buildSchedule(scheme, p, b) })
 	return e.s, e.err
+}
+
+// evalFor memoizes the D-invariant evaluation of one (scheme, P, B) key;
+// build runs at most once per sweep even under the parallel pool.
+func (c *sweepCache) evalFor(k schedKey, build func() (*evalShared, error)) (*evalShared, error) {
+	c.mu.Lock()
+	e, ok := c.eval[k]
+	if !ok {
+		e = &evalEntry{}
+		c.eval[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.e, e.err = build() })
+	return e.e, e.err
 }
 
 // buildSchedule generates and validates one schedule.
@@ -123,42 +164,158 @@ func (p Plan) Simulate(opt sim.Options) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	simRuns.Add(1)
 	return sim.Run(s, cost, opt)
 }
 
-// Memory estimates per-device peak memory using the simulator's activation
-// peaks (falling back to analytic peaks if simulation fails).
-func (p Plan) Memory() (*memmodel.Estimate, error) {
+// simRuns counts every sim.Run issued through Plan evaluation — the test
+// hook asserting the sweep's one-simulation-per-candidate-key discipline.
+var simRuns atomic.Int64
+
+// Eval is one plan's complete single-pass evaluation: everything the
+// configuration search needs from exactly one discrete-event simulation.
+type Eval struct {
+	// Sim is the per-replica simulation result (nil with AnalyticOnly).
+	Sim *sim.Result
+	// MemTrace is the memory-replay result backing an AnalyticOnly
+	// evaluation (live-byte curves included); nil on the simulated path,
+	// which derives peaks from Sim instead.
+	MemTrace *memtrace.Result
+	// Memory is the per-device peak-memory estimate, built from the
+	// simulation's activation peaks (or the memtrace replay's, with
+	// AnalyticOnly — the two are provably identical).
+	Memory *memmodel.Estimate
+	// Fits reports whether Memory fits every device with the standard 5%
+	// framework headroom.
+	Fits bool
+	// Throughput is end-to-end sequences/second across all D replicas
+	// (0 with AnalyticOnly: no timing model ran).
+	Throughput float64
+}
+
+// EvalOptions tunes Plan.EvaluateOpts.
+type EvalOptions struct {
+	// Sim configures the discrete-event executor (DefaultOptions when
+	// calling Evaluate).
+	Sim sim.Options
+	// AnalyticOnly skips the timing simulation entirely: activation peaks
+	// come from the memtrace replay (measured against the memory model,
+	// no tensor math, no clock), Throughput stays 0 and Eval.Sim nil.
+	// This is the old Memory() fallback made explicit — evaluation errors
+	// now propagate instead of silently downgrading the peak source.
+	AnalyticOnly bool
+}
+
+// Evaluate measures the plan with the paper-faithful executor options:
+// one simulation produces the memory estimate, the feasibility verdict
+// and the throughput together. Memory, Fits and Throughput are thin views
+// over this. Under an AutoTune sweep the result is cached per
+// (Scheme, P, B) and shared by all candidates that differ only in D.
+func (p Plan) Evaluate() (*Eval, error) {
+	return p.EvaluateOpts(EvalOptions{Sim: sim.DefaultOptions()})
+}
+
+// EvaluateOpts is Evaluate with explicit options. Only the default
+// configuration is served from the sweep cache; ablation options always
+// evaluate fresh.
+func (p Plan) EvaluateOpts(opt EvalOptions) (*Eval, error) {
+	if p.cache != nil && !opt.AnalyticOnly && opt.Sim == sim.DefaultOptions() {
+		shared, err := p.cache.evalFor(schedKey{p.Scheme, p.P, p.B}, func() (*evalShared, error) {
+			return p.evaluateShared(opt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return p.evalView(shared), nil
+	}
+	shared, err := p.evaluateShared(opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.evalView(shared), nil
+}
+
+// evalView scales the D-invariant shared evaluation to this plan.
+func (p Plan) evalView(s *evalShared) *Eval {
+	return &Eval{
+		Sim:        s.sim,
+		MemTrace:   s.mt,
+		Memory:     s.mem,
+		Fits:       s.fits,
+		Throughput: s.perReplica * float64(p.D),
+	}
+}
+
+// evaluateShared performs the actual single-pass measurement of one
+// replica: one sim.Run (or one memtrace replay), one memory estimate, one
+// feasibility check.
+func (p Plan) evaluateShared(opt EvalOptions) (*evalShared, error) {
 	s, err := p.Schedule()
 	if err != nil {
 		return nil, err
 	}
-	peaks := memmodel.AnalyticPeakActs(s)
-	if r, err := p.Simulate(sim.DefaultOptions()); err == nil {
-		peaks = r.PeakActs
+	if opt.AnalyticOnly {
+		mt, err := memtrace.Run(s, p.Model, p.MicroRows)
+		if err != nil {
+			return nil, err
+		}
+		mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, mt.PeakActs)
+		return &evalShared{mt: mt, mem: mem, fits: memmodel.FitsCluster(mem, p.Cluster, 0.95)}, nil
 	}
-	return memmodel.ForSchedule(s, p.Model, p.MicroRows, peaks), nil
+	r, err := p.Simulate(opt.Sim)
+	if err != nil {
+		return nil, err
+	}
+	mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, r.PeakActs)
+	return &evalShared{
+		sim:        r,
+		mem:        mem,
+		fits:       memmodel.FitsCluster(mem, p.Cluster, 0.95),
+		perReplica: sim.Throughput(r, p.B*p.MicroRows),
+	}, nil
+}
+
+// MemTrace replays the plan's schedule against the memory model only,
+// returning the measured per-device live-byte curves (Fig 8's distribution
+// measured instead of estimated).
+func (p Plan) MemTrace() (*memtrace.Result, error) {
+	s, err := p.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	return memtrace.Run(s, p.Model, p.MicroRows)
+}
+
+// Memory estimates per-device peak memory using the simulator's activation
+// peaks — a view over Evaluate. Simulation errors propagate; for a
+// deliberately sim-free estimate use EvaluateOpts with AnalyticOnly.
+func (p Plan) Memory() (*memmodel.Estimate, error) {
+	e, err := p.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	return e.Memory, nil
 }
 
 // Fits reports whether the plan's peak memory fits every device (with a
-// 5% headroom, matching framework reserves).
+// 5% headroom, matching framework reserves) — a view over Evaluate.
 func (p Plan) Fits() (bool, error) {
-	e, err := p.Memory()
+	e, err := p.Evaluate()
 	if err != nil {
 		return false, err
 	}
-	return memmodel.FitsCluster(e, p.Cluster, 0.95), nil
+	return e.Fits, nil
 }
 
 // Throughput returns simulated end-to-end sequences/second across all D
-// replicas (replicas run concurrently on disjoint devices).
+// replicas (replicas run concurrently on disjoint devices) — a view over
+// Evaluate.
 func (p Plan) Throughput() (float64, error) {
-	r, err := p.Simulate(sim.DefaultOptions())
+	e, err := p.Evaluate()
 	if err != nil {
 		return 0, err
 	}
-	perReplica := sim.Throughput(r, p.B*p.MicroRows)
-	return perReplica * float64(p.D), nil
+	return e.Throughput, nil
 }
 
 // Engine builds the real training runtime for this plan (requires the
@@ -244,7 +401,7 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 		pd   int  // index into space.PD
 		wave bool // part of the per-(P,D) Hanayo wave sweep
 	}
-	cache := newSchedCache()
+	cache := newSweepCache()
 	var tasks []task
 	for pi, pd := range space.PD {
 		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
@@ -308,30 +465,27 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 	return out
 }
 
-// measure evaluates one candidate plan: memory feasibility first (OOM
-// cells), then simulated throughput. The sweep cache is dropped from the
+// measure evaluates one candidate plan with a single simulation: memory
+// feasibility (OOM cells) and throughput come from the same Evaluate
+// pass, served from the sweep's eval cache when another candidate already
+// simulated this (scheme, P, B). The sweep cache is dropped from the
 // returned candidate so holding one result does not retain every schedule
-// generated by the sweep.
+// and simulation produced by the sweep.
 func measure(plan Plan) Candidate {
 	pub := plan
 	pub.cache = nil
 	c := Candidate{Plan: pub}
-	mem, err := plan.Memory()
+	e, err := plan.Evaluate()
 	if err != nil {
 		c.Err = err
 		return c
 	}
-	c.PeakGB = mem.MaxGB()
-	if !memmodel.FitsCluster(mem, plan.Cluster, 0.95) {
+	c.PeakGB = e.Memory.MaxGB()
+	if !e.Fits {
 		c.OOM = true
 		return c
 	}
-	thr, err := plan.Throughput()
-	if err != nil {
-		c.Err = err
-		return c
-	}
-	c.Throughput = thr
+	c.Throughput = e.Throughput
 	return c
 }
 

@@ -254,11 +254,113 @@ func TestAutoTuneParallelRankingMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSweepRunsOneSimPerKey asserts the single-pass discipline of the
+// acceptance criteria: an AutoTune sweep issues exactly one sim.Run per
+// unique (scheme, P, B), however many candidates (different D, wave
+// duplicates) share that key — counted via the core simRuns hook. The
+// hook is process-global, so this test (and any future test that issues
+// simulations) must not be marked t.Parallel, or the delta window would
+// pick up foreign runs.
+func TestSweepRunsOneSimPerKey(t *testing.T) {
+	cl := cluster.TACC(16)
+	space := SearchSpace{
+		// Two (P, D) pairs share P=4: all their schemes share sim results.
+		PD:        [][2]int{{4, 4}, {4, 2}, {8, 2}},
+		Waves:     []int{1, 2},
+		B:         4,
+		MicroRows: 1,
+		Workers:   4,
+	}
+	// Unique (scheme, P, B) keys: 3 base schemes + 2 waves = 5 schemes,
+	// at P∈{4, 8} with fixed B → 10 keys.
+	const wantKeys = 10
+	before := simRuns.Load()
+	cands := AutoTune(cl, nn.BERTStyle(), space)
+	if len(cands) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if got := simRuns.Load() - before; got != wantKeys {
+		t.Fatalf("sweep issued %d simulations for %d unique (scheme, P, B) keys", got, wantKeys)
+	}
+}
+
+// TestEvaluateCachedMatchesUncached asserts cache correctness: a plan
+// evaluated through the sweep cache reports the identical numbers as the
+// same plan evaluated cold, and a second cached plan differing only in D
+// shares the underlying simulation while scaling throughput by its own D.
+func TestEvaluateCachedMatchesUncached(t *testing.T) {
+	cache := newSweepCache()
+	cached := bertPlan("hanayo-w2", 4, 2)
+	cached.cache = cache
+	cold := bertPlan("hanayo-w2", 4, 2)
+
+	ec, err := cached.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, err := cold.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Throughput != eu.Throughput || ec.Fits != eu.Fits {
+		t.Fatalf("cached (%g, %v) != uncached (%g, %v)",
+			ec.Throughput, ec.Fits, eu.Throughput, eu.Fits)
+	}
+	if ec.Memory.MaxGB() != eu.Memory.MaxGB() || ec.Sim.Makespan != eu.Sim.Makespan {
+		t.Fatalf("cached memory/makespan (%g, %g) != uncached (%g, %g)",
+			ec.Memory.MaxGB(), ec.Sim.Makespan, eu.Memory.MaxGB(), eu.Sim.Makespan)
+	}
+
+	// A different D on the same key reuses the simulation and rescales.
+	other := cached
+	other.D = 1
+	eo, err := other.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.Sim != ec.Sim {
+		t.Fatal("same-key plans must share the cached simulation result")
+	}
+	if got, want := eo.Throughput*2, ec.Throughput; got != want {
+		t.Fatalf("D=1 throughput %g not half of D=2's %g", eo.Throughput, ec.Throughput)
+	}
+}
+
+// TestEvaluateAnalyticOnly exercises the explicit sim-free path: no
+// simulation result, zero throughput, and a memory estimate identical to
+// the simulated one (the memtrace replay measures the same peaks).
+func TestEvaluateAnalyticOnly(t *testing.T) {
+	plan := bertPlan("hanayo-w2", 4, 2)
+	full, err := plan.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := plan.EvaluateOpts(EvalOptions{AnalyticOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Sim != nil || mem.Throughput != 0 {
+		t.Fatal("AnalyticOnly must not run the timing simulation")
+	}
+	if mem.Memory.MaxGB() != full.Memory.MaxGB() || mem.Fits != full.Fits {
+		t.Fatalf("sim-free memory (%g, %v) != simulated (%g, %v)",
+			mem.Memory.MaxGB(), mem.Fits, full.Memory.MaxGB(), full.Fits)
+	}
+	// Schedule errors surface instead of downgrading silently.
+	bad := bertPlan("no-such-scheme", 4, 1)
+	if _, err := bad.EvaluateOpts(EvalOptions{AnalyticOnly: true}); err == nil {
+		t.Fatal("unknown scheme must fail AnalyticOnly evaluation")
+	}
+	if _, err := bad.Evaluate(); err == nil {
+		t.Fatal("unknown scheme must fail evaluation")
+	}
+}
+
 // TestScheduleCacheSharesPrograms proves the sweep cache builds one
 // schedule per (scheme, P, B) and returns the same instance to every plan
 // that shares the key.
 func TestScheduleCacheSharesPrograms(t *testing.T) {
-	cache := newSchedCache()
+	cache := newSweepCache()
 	p1 := bertPlan("hanayo-w2", 4, 2)
 	p1.cache = cache
 	p2 := p1

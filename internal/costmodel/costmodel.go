@@ -32,7 +32,12 @@ func ActivationBytes(cfg nn.Config, rows int) float64 {
 	return float64(rows) * float64(cfg.SeqLen) * float64(cfg.Hidden) * 2
 }
 
-// Cost is the timing oracle a simulator needs.
+// Cost is the timing oracle a simulator needs. Construction (New)
+// precomputes dense per-(device, stage) forward/backward time tables and a
+// per-link communication table, so the simulator's hot loop is two array
+// reads per op instead of re-deriving FLOP counts. Toggling the public
+// knobs (Heterogeneous, BackwardRatio) after New is still supported: the
+// tables are rebuilt transparently on the next lookup.
 type Cost struct {
 	W Workload
 	C *cluster.Cluster
@@ -46,6 +51,17 @@ type Cost struct {
 	// the imbalance real frameworks see. Off by default: the paper's
 	// analysis (and our published tables) assume uniform stages.
 	Heterogeneous bool
+
+	// Dense tables built by Recalc: fwd/bwd are indexed d*S+stage for the
+	// p devices the schedule uses, comm is indexed src*p+dst. builtHet and
+	// builtRatio record the knob values the tables encode so a
+	// post-construction knob flip invalidates them (rebuilds are not safe
+	// concurrently with lookups — freeze the knobs before sharing a Cost).
+	p          int
+	fwd, bwd   []float64
+	comm       []float64
+	builtHet   bool
+	builtRatio float64
 }
 
 // EmbedFLOPs is the forward cost of the embedding lookup (memory-bound;
@@ -70,7 +86,36 @@ func New(w Workload, cl *cluster.Cluster, sc *sched.Schedule) (*Cost, error) {
 	if w.MicroRows <= 0 {
 		return nil, fmt.Errorf("costmodel: MicroRows must be positive")
 	}
-	return &Cost{W: w, C: cl, S: sc.S, BackwardRatio: 2}, nil
+	c := &Cost{W: w, C: cl, S: sc.S, BackwardRatio: 2, p: sc.P}
+	c.Recalc()
+	return c, nil
+}
+
+// Recalc (re)builds the dense time tables from the current knob settings.
+// New calls it once; lookups call it again automatically if a knob changed
+// since the last build.
+func (c *Cost) Recalc() {
+	c.fwd = make([]float64, c.p*c.S)
+	c.bwd = make([]float64, c.p*c.S)
+	c.comm = make([]float64, c.p*c.p)
+	for d := 0; d < c.p; d++ {
+		for s := 0; s < c.S; s++ {
+			t := c.forwardTimeSlow(d, s)
+			c.fwd[d*c.S+s] = t
+			c.bwd[d*c.S+s] = c.BackwardRatio * t
+		}
+		for dst := 0; dst < c.p; dst++ {
+			c.comm[d*c.p+dst] = c.C.CommTime(d, dst, ActivationBytes(c.W.Model, c.W.MicroRows))
+		}
+	}
+	c.builtHet = c.Heterogeneous
+	c.builtRatio = c.BackwardRatio
+}
+
+// stale reports whether the tables no longer reflect the public knobs (or
+// were never built, for a hand-assembled zero-value Cost).
+func (c *Cost) stale() bool {
+	return c.fwd == nil || c.builtHet != c.Heterogeneous || c.builtRatio != c.BackwardRatio
 }
 
 // layersPerStage is the fractional layer share of one stage.
@@ -78,8 +123,10 @@ func (c *Cost) layersPerStage() float64 {
 	return float64(c.W.Model.Layers) / float64(c.S)
 }
 
-// ForwardTime returns the stage forward time on device d.
-func (c *Cost) ForwardTime(d, stage int) float64 {
+// forwardTimeSlow derives one forward time from the FLOP formulas — the
+// table builder and the fallback for lookups outside the schedule's device
+// range (e.g. a hand-assembled zero-value Cost).
+func (c *Cost) forwardTimeSlow(d, stage int) float64 {
 	fl := c.layersPerStage() * LayerForwardFLOPs(c.W.Model, c.W.MicroRows)
 	if c.Heterogeneous {
 		if stage == 0 {
@@ -92,9 +139,26 @@ func (c *Cost) ForwardTime(d, stage int) float64 {
 	return fl / c.C.Flops(d)
 }
 
-// BackwardTime returns the stage backward time on device d.
+// ForwardTime returns the stage forward time on device d (table lookup).
+func (c *Cost) ForwardTime(d, stage int) float64 {
+	if d < c.p && stage < c.S {
+		if c.stale() {
+			c.Recalc()
+		}
+		return c.fwd[d*c.S+stage]
+	}
+	return c.forwardTimeSlow(d, stage)
+}
+
+// BackwardTime returns the stage backward time on device d (table lookup).
 func (c *Cost) BackwardTime(d, stage int) float64 {
-	return c.BackwardRatio * c.ForwardTime(d, stage)
+	if d < c.p && stage < c.S {
+		if c.stale() {
+			c.Recalc()
+		}
+		return c.bwd[d*c.S+stage]
+	}
+	return c.BackwardRatio * c.forwardTimeSlow(d, stage)
 }
 
 // StageImbalance returns the heaviest-over-lightest forward-stage ratio —
@@ -118,8 +182,12 @@ func (c *Cost) StageImbalance() float64 {
 	return maxT / minT
 }
 
-// CommTime returns the P2P transfer time of one boundary tensor.
+// CommTime returns the P2P transfer time of one boundary tensor (table
+// lookup for the schedule's devices).
 func (c *Cost) CommTime(src, dst int) float64 {
+	if src < c.p && dst < c.p {
+		return c.comm[src*c.p+dst]
+	}
 	return c.C.CommTime(src, dst, ActivationBytes(c.W.Model, c.W.MicroRows))
 }
 

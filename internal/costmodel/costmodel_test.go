@@ -128,6 +128,45 @@ func TestHeterogeneousStages(t *testing.T) {
 	}
 }
 
+// TestDenseTablesMatchFormulas asserts the precomputed per-(device, stage)
+// and per-link tables return exactly what the FLOP formulas derive, for
+// both knob settings, including after a post-construction toggle.
+func TestDenseTablesMatchFormulas(t *testing.T) {
+	cfg := nn.GPTStyle()
+	cl := cluster.PartialNVLink(16) // bigger than the schedule: exercises fallback
+	s, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Workload{Model: cfg, MicroRows: 2}, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, het := range []bool{false, true} {
+		c.Heterogeneous = het
+		for d := 0; d < s.P; d++ {
+			for st := 0; st < s.S; st++ {
+				if got, want := c.ForwardTime(d, st), c.forwardTimeSlow(d, st); got != want {
+					t.Fatalf("het=%v fwd(%d,%d) table %g formula %g", het, d, st, got, want)
+				}
+				if got, want := c.BackwardTime(d, st), c.BackwardRatio*c.forwardTimeSlow(d, st); got != want {
+					t.Fatalf("het=%v bwd(%d,%d) table %g formula %g", het, d, st, got, want)
+				}
+			}
+			for dst := 0; dst < s.P; dst++ {
+				if got, want := c.CommTime(d, dst), cl.CommTime(d, dst, ActivationBytes(cfg, 2)); got != want {
+					t.Fatalf("comm(%d,%d) table %g formula %g", d, dst, got, want)
+				}
+			}
+		}
+	}
+	// Lookups beyond the schedule's P devices fall back to the formulas
+	// instead of reading past the tables.
+	if c.ForwardTime(12, 0) <= 0 || c.CommTime(0, 12) <= 0 {
+		t.Fatal("fallback lookups must stay positive")
+	}
+}
+
 func TestHeterogeneousSimRunsSlower(t *testing.T) {
 	cfg := nn.GPTStyle()
 	cl := cluster.FullNVLink(8)

@@ -39,6 +39,21 @@ import (
 // return it — they block instead.
 var ErrBlocked = errors.New("exec: blocked")
 
+// ErrCanceled is returned (wrapped) by a concurrent backend's blocking
+// hooks after the driver's done channel closed — another device's hook
+// failed and the iteration is being torn down. RunConcurrent reports the
+// originating error, not the ErrCanceled echoes it provoked.
+var ErrCanceled = errors.New("exec: canceled")
+
+// Cancellable is an optional Backend extension for concurrent execution.
+// RunConcurrent installs its done channel before any device starts walking;
+// the channel closes when any device's hook returns an error, and blocking
+// Recv/Drain implementations must then abort (returning an error wrapping
+// ErrCanceled) instead of waiting for a payload that will never arrive.
+type Cancellable interface {
+	SetDone(done <-chan struct{})
+}
+
 // Options tune interpreter semantics shared by every backend.
 type Options struct {
 	// BatchComm treats each maximal run of consecutive comm ops as one
@@ -224,6 +239,15 @@ func newInterp(s *sched.Schedule, b Backend, opt Options) (*interp, []*machine) 
 	ex := &interp{opt: opt, backend: b, records: make([][]Record, s.P)}
 	ms := make([]*machine, s.P)
 	for d := range ms {
+		// Preallocate each device's timeline at its exact compute-op count
+		// so the walking loop never grows a Record slice mid-run.
+		n := 0
+		for _, a := range s.Lists[d] {
+			if a.Kind.IsCompute() {
+				n++
+			}
+		}
+		ex.records[d] = make([]Record, 0, n)
 		ms[d] = &machine{dev: d, list: s.Lists[d]}
 	}
 	return ex, ms
@@ -269,19 +293,24 @@ func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
 
 // RunConcurrent drives the interpreter with one goroutine per device; the
 // backend's Recv blocks instead of returning ErrBlocked. All devices are
-// joined before returning (first hook error wins). This is the driver for
-// real-tensor backends.
+// joined before returning. This is the driver for real-tensor backends.
 //
-// Caveat: a hook error terminates only that device's walk. If peers are
-// blocked in Recv awaiting payloads the failed device will now never
-// send, and the backend's Recv has no cancellation, the join waits
-// forever. Schedules that pass sched.Validate cannot reach the error
-// paths of the built-in backends, so this only concerns custom backends
-// whose hooks can fail mid-schedule — such backends should make Recv
-// abortable (e.g. observe a done channel) rather than rely on the driver
-// to unblock their peers.
+// The first hook error cancels the iteration: the driver closes a done
+// channel (installed via the optional Cancellable extension before any
+// device starts), so peers blocked in Recv abort instead of waiting
+// forever on payloads the failed device will never send. The originating
+// error is reported; the ErrCanceled echoes from aborted peers are
+// suppressed. Backends that do not implement Cancellable keep the old
+// contract: their hooks must not fail mid-schedule while peers block
+// (schedules passing sched.Validate cannot reach the built-in backends'
+// error paths).
 func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
 	ex, ms := newInterp(s, b, opt)
+	done := make(chan struct{})
+	var cancel sync.Once
+	if c, ok := b.(Cancellable); ok {
+		c.SetDone(done)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, s.P)
 	for d := range ms {
@@ -292,12 +321,14 @@ func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error
 				ok, err := ex.step(m)
 				if err != nil {
 					errs <- err
+					cancel.Do(func() { close(done) })
 					return
 				}
 				if !ok {
 					if m.pc < len(m.list) {
 						errs <- fmt.Errorf("exec: backend blocked device %d at %v in concurrent mode",
 							m.dev, m.list[m.pc])
+						cancel.Do(func() { close(done) })
 					}
 					return
 				}
@@ -306,8 +337,16 @@ func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error
 	}
 	wg.Wait()
 	close(errs)
+	// Prefer the error that started the teardown over the cancellation
+	// echoes it provoked in peers.
+	var first error
 	for err := range errs {
-		return ex.records, err
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, ErrCanceled) {
+			return ex.records, err
+		}
 	}
-	return ex.records, nil
+	return ex.records, first
 }

@@ -10,6 +10,8 @@ package exec_test
 // executor semantics bit-for-bit.
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -310,6 +312,59 @@ func TestDriversWalkIdentically(t *testing.T) {
 		if n != wantCompute {
 			t.Errorf("%s: timeline has %d records, want %d", name, n, wantCompute)
 		}
+	}
+}
+
+// cancelBackend errors on device 0's first compute while every other
+// device blocks in Recv until the driver's done channel closes — the
+// scenario that used to hang RunConcurrent forever (the documented caveat
+// this cancellation contract removed).
+type cancelBackend struct {
+	countBackend
+	done <-chan struct{}
+}
+
+func (b *cancelBackend) SetDone(done <-chan struct{}) { b.done = done }
+
+func (b *cancelBackend) Compute(d int, a sched.Action) (float64, float64, error) {
+	if d == 0 {
+		return 0, 0, errors.New("injected hook failure")
+	}
+	return b.countBackend.Compute(d, a)
+}
+
+func (b *cancelBackend) Recv(d, i int, a sched.Action) error {
+	<-b.done
+	return fmt.Errorf("device %d recv: %w", d, exec.ErrCanceled)
+}
+
+// TestConcurrentCancellation asserts the first hook error tears down peers
+// blocked in Recv and is the error RunConcurrent reports (not the
+// ErrCanceled echoes from the aborted peers).
+func TestConcurrentCancellation(t *testing.T) {
+	s, err := sched.DAPPLE(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct{ err error }
+	res := make(chan outcome, 1)
+	go func() {
+		_, err := exec.RunConcurrent(s, &cancelBackend{}, exec.DefaultOptions())
+		res <- outcome{err}
+	}()
+	select {
+	case o := <-res:
+		if o.err == nil {
+			t.Fatal("expected the injected hook failure to surface")
+		}
+		if errors.Is(o.err, exec.ErrCanceled) {
+			t.Fatalf("driver reported a cancellation echo instead of the origin: %v", o.err)
+		}
+		if !strings.Contains(o.err.Error(), "injected hook failure") {
+			t.Fatalf("unexpected error: %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunConcurrent still hangs on a mid-schedule hook error")
 	}
 }
 

@@ -1,0 +1,121 @@
+package memtrace_test
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/memtrace"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestPeaksMatchSimulator asserts the replay's activation-peak counts
+// equal the timing simulator's across every scheme family and shape: the
+// two executors walk identical action lists, so residency must agree
+// regardless of timing.
+func TestPeaksMatchSimulator(t *testing.T) {
+	cfg := nn.BERTStyle()
+	for _, scheme := range []string{"gpipe", "dapple", "chimera", "chimera-wave",
+		"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems"} {
+		for _, shape := range []struct{ p, b int }{{4, 4}, {4, 8}, {8, 8}} {
+			s, err := sched.ByName(scheme, shape.p, shape.b)
+			if err != nil {
+				t.Fatalf("%s P=%d B=%d: %v", scheme, shape.p, shape.b, err)
+			}
+			per := float64(s.S) / float64(s.P)
+			r, err := sim.Run(s, costmodel.Uniform{Tf: 1 / per, Tb: 2 / per, Tc: 0.05}, sim.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt, err := memtrace.Run(s, cfg, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < s.P; d++ {
+				if mt.PeakActs[d] != r.PeakActs[d] {
+					t.Errorf("%s P=%d B=%d device %d: memtrace peak %d, sim peak %d",
+						scheme, shape.p, shape.b, d, mt.PeakActs[d], r.PeakActs[d])
+				}
+			}
+		}
+	}
+}
+
+// TestCurvesBalance asserts every device's live-byte curve ends at zero
+// (each forward's bytes freed by its backward), stays non-negative, and
+// its maximum matches the reported PeakBytes.
+func TestCurvesBalance(t *testing.T) {
+	s, err := sched.Hanayo(8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := memtrace.Run(s, nn.BERTStyle(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, curve := range mt.Curves {
+		if len(curve) == 0 {
+			t.Fatalf("device %d: empty curve", d)
+		}
+		maxB := 0.0
+		for _, smp := range curve {
+			if smp.Bytes < -1e-6 {
+				t.Fatalf("device %d op %d: negative live bytes %g", d, smp.Op, smp.Bytes)
+			}
+			if smp.Bytes > maxB {
+				maxB = smp.Bytes
+			}
+		}
+		if last := curve[len(curve)-1].Bytes; last > 1e-6 {
+			t.Errorf("device %d: curve ends at %g bytes, want 0", d, last)
+		}
+		if maxB != mt.PeakBytes[d] {
+			t.Errorf("device %d: curve max %g != PeakBytes %g", d, maxB, mt.PeakBytes[d])
+		}
+		// One sample per compute op.
+		n := 0
+		for _, a := range s.Lists[d] {
+			if a.Kind.IsCompute() {
+				n++
+			}
+		}
+		if len(curve) != n {
+			t.Errorf("device %d: %d samples for %d compute ops", d, len(curve), n)
+		}
+	}
+}
+
+// TestPeakBytesScaleWithRows doubles the micro-batch rows and expects the
+// measured peak bytes to grow (LayerActBytes is increasing in rows).
+func TestPeakBytesScaleWithRows(t *testing.T) {
+	s, err := sched.DAPPLE(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := memtrace.Run(s, nn.BERTStyle(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := memtrace.Run(s, nn.BERTStyle(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range small.PeakBytes {
+		if big.PeakBytes[d] <= small.PeakBytes[d] {
+			t.Fatalf("device %d: rows=2 peak %g not above rows=1 peak %g",
+				d, big.PeakBytes[d], small.PeakBytes[d])
+		}
+	}
+}
+
+// TestRunValidatesRows rejects non-positive rows.
+func TestRunValidatesRows(t *testing.T) {
+	s, err := sched.DAPPLE(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memtrace.Run(s, nn.BERTStyle(), 0); err == nil {
+		t.Fatal("rows=0 must fail")
+	}
+}

@@ -263,15 +263,23 @@ func (w *worker) send(a sched.Action) error {
 	return nil
 }
 
-// recv completes one posted receive: Recv blocks until the payload
-// arrives and stores it for the consuming compute op.
-func (w *worker) recv(a sched.Action) error {
+// recv completes one posted receive: it blocks until the payload arrives
+// and stores it for the consuming compute op, or aborts (wrapping
+// exec.ErrCanceled) when the driver's done channel closes first because a
+// peer's hook failed.
+func (w *worker) recv(a sched.Action, done <-chan struct{}) error {
 	switch a.Kind {
 	case sched.OpRecvAct:
-		x := w.rep.router.Recv(w.tagAct(a.Micro, a.Stage, a.Peer, w.device))
+		x, ok := w.rep.router.RecvAbort(w.tagAct(a.Micro, a.Stage, a.Peer, w.device), done)
+		if !ok {
+			return fmt.Errorf("runtime: device %d: %v aborted: %w", w.device, a, exec.ErrCanceled)
+		}
 		w.acts[actKey{a.Micro, a.Stage}] = &actRecord{in: x}
 	case sched.OpRecvGrad:
-		g := w.rep.router.Recv(w.tagGrad(a.Micro, a.Stage, a.Peer, w.device))
+		g, ok := w.rep.router.RecvAbort(w.tagGrad(a.Micro, a.Stage, a.Peer, w.device), done)
+		if !ok {
+			return fmt.Errorf("runtime: device %d: %v aborted: %w", w.device, a, exec.ErrCanceled)
+		}
 		w.dIn[actKey{a.Micro, a.Stage + 1}] = g // gradient w.r.t. stage's output
 	}
 	return nil
@@ -286,7 +294,13 @@ func (w *worker) recv(a sched.Action) error {
 type rtBackend struct {
 	workers []*worker
 	t0      time.Time
+	done    <-chan struct{} // installed by the driver (exec.Cancellable)
 }
+
+// SetDone implements exec.Cancellable: blocking receives observe the
+// driver's cancellation channel, so a hook error on one device aborts its
+// peers instead of deadlocking the join.
+func (b *rtBackend) SetDone(done <-chan struct{}) { b.done = done }
 
 func (b *rtBackend) Compute(d int, a sched.Action) (float64, float64, error) {
 	w := b.workers[d]
@@ -308,7 +322,7 @@ func (b *rtBackend) Send(d int, a sched.Action) error { return b.workers[d].send
 // need no ahead-of-time registration.
 func (b *rtBackend) Post(d int, a sched.Action) error { return nil }
 
-func (b *rtBackend) Recv(d, idx int, a sched.Action) error { return b.workers[d].recv(a) }
+func (b *rtBackend) Recv(d, idx int, a sched.Action) error { return b.workers[d].recv(a, b.done) }
 
 // Drain (unbatched strict-order send) degenerates to a plain send: the
 // in-process router never blocks a sender, so the NCCL blocking-send

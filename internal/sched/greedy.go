@@ -73,6 +73,14 @@ func (q *genEventQueue) Pop() any {
 // DAG and returns, per device, the ordered compute actions. The scheduler
 // is the paper's "unified framework" engine: every synchronous scheme is a
 // point in (placement, priority, cap, barrier) space.
+//
+// All scheduler state lives in flat slices indexed by a dense task id
+// (back, micro, stage) with per-device pending lists, so the inner pick
+// loop scans only one device's candidates — the map-based predecessor
+// scanned every ready task for every device at every event, which
+// dominated sweep-sized generation. The selection rule is a total order
+// (priority class, then micro, then stage), so the result is identical to
+// the map version's regardless of scan order.
 func generateOrder(p GenParams) ([][]Action, error) {
 	m := p.Mapping
 	if p.B <= 0 {
@@ -82,92 +90,126 @@ func generateOrder(p GenParams) ([][]Action, error) {
 		return nil, fmt.Errorf("sched: Tf and Tb must be positive")
 	}
 	S, P := m.S, m.P
+	B := p.B
 
-	// ready[t] = earliest time task t's inputs are available.
-	ready := map[task]float64{}
-	done := map[task]bool{}
+	// Dense task ids: forwards occupy [0, B·S), backwards [B·S, 2·B·S);
+	// within a half the id is micro·S + stage.
+	half := B * S
+	idxOf := func(micro, stage int, back bool) int {
+		i := micro*S + stage
+		if back {
+			i += half
+		}
+		return i
+	}
+	microOf := func(i int) int { return (i % half) / S }
+	stageOf := func(i int) int { return i % S }
+	backOf := func(i int) bool { return i >= half }
+
+	readyAt := make([]float64, 2*half) // valid while queued
+	queued := make([]bool, 2*half)     // sits in its device's pending list
+	doneT := make([]bool, 2*half)
+	devOf := make([]int32, 2*half)
+	pending := make([][]int32, P) // per device: queued, not-yet-done tasks
+
 	deviceFree := make([]float64, P)
-	inflight := map[[2]int]int{} // (stage, chunkClass) -> live activations
-	fwdLeft := make([]int, P)    // forwards remaining per device (barrier)
+	chunks := m.ChunksPerDevice()
+	inflight := make([]int, S*chunks) // (stage, chunkClass) -> live acts
+	fwdLeft := make([]int, P)         // forwards remaining per device (barrier)
 	order := make([][]Action, P)
+	perDev := 2*half/P + 4
+	for d := 0; d < P; d++ {
+		pending[d] = make([]int32, 0, perDev)
+		order[d] = make([]Action, 0, perDev)
+	}
 
-	for mi := 0; mi < p.B; mi++ {
-		ready[task{micro: mi, stage: 0}] = 0
+	// enqueue marks a task ready at time at and files it under its device.
+	// Every task has a single producer edge, so the min-merge branch is
+	// defensive only.
+	enqueue := func(micro, stage int, back bool, at float64) {
+		i := idxOf(micro, stage, back)
+		if doneT[i] {
+			return
+		}
+		if queued[i] {
+			if at < readyAt[i] {
+				readyAt[i] = at
+			}
+			return
+		}
+		readyAt[i] = at
+		queued[i] = true
+		d := m.Device(micro, stage)
+		devOf[i] = int32(d)
+		pending[d] = append(pending[d], int32(i))
+	}
+
+	for mi := 0; mi < B; mi++ {
+		enqueue(mi, 0, false, 0)
 		for s := 0; s < S; s++ {
 			fwdLeft[m.Device(mi, s)]++
 		}
 	}
 
-	eligible := func(t task, now float64) bool {
-		rt, ok := ready[t]
-		if !ok || done[t] || rt > now {
+	eligible := func(i int, now float64) bool {
+		if readyAt[i] > now {
 			return false
 		}
-		d := m.Device(t.micro, t.stage)
-		if !t.back {
-			if p.PhaseBarrier {
-				// backwards are gated elsewhere; forwards always fine
-			}
+		if !backOf(i) {
 			if p.InflightCap != nil {
-				chunk := m.Chunk(t.micro, t.stage)
-				key := [2]int{t.stage, chunk}
-				if inflight[key] >= p.InflightCap(t.stage, chunk) {
+				stage := stageOf(i)
+				chunk := m.Chunk(microOf(i), stage)
+				if inflight[stage*chunks+chunk] >= p.InflightCap(stage, chunk) {
 					return false
 				}
 			}
 			return true
 		}
-		if p.PhaseBarrier && fwdLeft[d] > 0 {
+		if p.PhaseBarrier && fwdLeft[devOf[i]] > 0 {
 			return false
 		}
 		return true
 	}
 
+	// classOf ranks the priority class (0 runs first).
+	classOf := func(back bool) int {
+		if back == (p.Priority == BackwardFirst) {
+			return 0
+		}
+		return 1
+	}
+
 	// pick selects the highest-priority eligible task for device d at time
-	// now, or nil.
-	pick := func(d int, now float64) *task {
-		var best *task
-		better := func(t task) bool {
-			if best == nil {
-				return true
+	// now (class asc, micro asc, stage desc), or -1. Finished tasks are
+	// compacted out of the pending list in passing.
+	pick := func(d int, now float64) int {
+		lst := pending[d]
+		best := -1
+		var bestClass, bestMicro, bestStage int
+		w := 0
+		for _, i32 := range lst {
+			i := int(i32)
+			if doneT[i] {
+				continue // drop: executed on an earlier pass
 			}
-			// Priority class first.
-			bw := func(x task) int {
-				if p.Priority == BackwardFirst {
-					if x.back {
-						return 0
-					}
-					return 1
-				}
-				if x.back {
-					return 1
-				}
-				return 0
-			}
-			if bw(t) != bw(*best) {
-				return bw(t) < bw(*best)
-			}
-			if t.micro != best.micro {
-				return t.micro < best.micro
-			}
-			return t.stage > best.stage
-		}
-		for t := range ready {
-			if m.Device(t.micro, t.stage) != d {
+			lst[w] = i32
+			w++
+			if !eligible(i, now) {
 				continue
 			}
-			if !eligible(t, now) {
-				continue
-			}
-			if better(t) {
-				tt := t
-				best = &tt
+			cls := classOf(backOf(i))
+			micro, stage := microOf(i), stageOf(i)
+			if best == -1 || cls < bestClass ||
+				(cls == bestClass && (micro < bestMicro ||
+					(micro == bestMicro && stage > bestStage))) {
+				best, bestClass, bestMicro, bestStage = i, cls, micro, stage
 			}
 		}
+		pending[d] = lst[:w]
 		return best
 	}
 
-	totalTasks := 2 * p.B * S
+	totalTasks := 2 * half
 	executed := 0
 	// Event-driven loop: events are "device d may be able to start
 	// something at time t".
@@ -179,38 +221,33 @@ func generateOrder(p GenParams) ([][]Action, error) {
 	}
 	push(0)
 
-	finish := func(t task, end float64) {
-		done[t] = true
-		delete(ready, t)
-		d := m.Device(t.micro, t.stage)
-		if !t.back {
+	finish := func(i int, end float64) {
+		doneT[i] = true
+		micro, stage, back := microOf(i), stageOf(i), backOf(i)
+		d := int(devOf[i])
+		if !back {
 			fwdLeft[d]--
-			key := [2]int{t.stage, m.Chunk(t.micro, t.stage)}
-			inflight[key]++
+			inflight[stage*chunks+m.Chunk(micro, stage)]++
 			// Successor: next forward stage, or own backward at the top.
-			if t.stage+1 < S {
-				nt := task{micro: t.micro, stage: t.stage + 1}
+			if stage+1 < S {
 				lat := 0.0
-				if m.Device(t.micro, t.stage+1) != d {
+				if m.Device(micro, stage+1) != d {
 					lat = p.Tc
 				}
-				setReady(ready, done, nt, end+lat)
+				enqueue(micro, stage+1, false, end+lat)
 				push(end + lat)
 			} else {
-				nt := task{micro: t.micro, stage: t.stage, back: true}
-				setReady(ready, done, nt, end)
+				enqueue(micro, stage, true, end)
 				push(end)
 			}
 		} else {
-			key := [2]int{t.stage, m.Chunk(t.micro, t.stage)}
-			inflight[key]--
-			if t.stage > 0 {
-				nt := task{micro: t.micro, stage: t.stage - 1, back: true}
+			inflight[stage*chunks+m.Chunk(micro, stage)]--
+			if stage > 0 {
 				lat := 0.0
-				if m.Device(t.micro, t.stage-1) != d {
+				if m.Device(micro, stage-1) != d {
 					lat = p.Tc
 				}
-				setReady(ready, done, nt, end+lat)
+				enqueue(micro, stage-1, true, end+lat)
 				push(end + lat)
 			}
 		}
@@ -237,12 +274,12 @@ func generateOrder(p GenParams) ([][]Action, error) {
 					continue
 				}
 				t := pick(d, now)
-				if t == nil {
+				if t < 0 {
 					continue
 				}
 				dur := p.Tf
 				kind := OpForward
-				if t.back {
+				if backOf(t) {
 					dur = p.Tb
 					kind = OpBackward
 				}
@@ -250,12 +287,12 @@ func generateOrder(p GenParams) ([][]Action, error) {
 				deviceFree[d] = end
 				order[d] = append(order[d], Action{
 					Kind:  kind,
-					Micro: t.micro,
-					Stage: t.stage,
-					Chunk: m.Chunk(t.micro, t.stage),
+					Micro: microOf(t),
+					Stage: stageOf(t),
+					Chunk: m.Chunk(microOf(t), stageOf(t)),
 					Peer:  -1,
 				})
-				finish(*t, end)
+				finish(t, end)
 				push(end)
 				executed++
 				progress = true
@@ -263,13 +300,4 @@ func generateOrder(p GenParams) ([][]Action, error) {
 		}
 	}
 	return order, nil
-}
-
-func setReady(ready map[task]float64, done map[task]bool, t task, at float64) {
-	if done[t] {
-		return
-	}
-	if cur, ok := ready[t]; !ok || at < cur {
-		ready[t] = at
-	}
 }

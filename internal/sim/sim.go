@@ -68,6 +68,9 @@ type Options struct {
 // DefaultOptions is the paper-faithful configuration.
 func DefaultOptions() Options { return Options{Prefetch: true, BatchComm: true} }
 
+// NumZones is the number of bubble-zone classes; Zones arrays index by Zone.
+const NumZones = 4
+
 // Record is one executed action with its time span — the shared
 // interpreter's timeline entry.
 type Record = exec.Record
@@ -80,7 +83,9 @@ type Result struct {
 	End      []float64  // per device completion time
 	Records  [][]Record // per device compute timeline
 	PeakActs []int      // per device peak live activations (stage units)
-	Zones    map[Zone]float64
+	// Zones is the Fig 7 idle-time decomposition, indexed by Zone (a dense
+	// array, not a map: the simulator hot path writes it per wait).
+	Zones [NumZones]float64
 }
 
 // BubbleRatio is total idle over total device-time, the paper's metric.
@@ -104,14 +109,10 @@ func (r *Result) TotalIdle() float64 {
 	return idle
 }
 
-type msgKey struct {
-	kind  sched.OpKind // OpSendAct or OpSendGrad
-	micro int
-	stage int
-	src   int
-	dst   int
-}
-
+// transfer is one in-flight message's state. Stored by value in a dense
+// slice indexed by (kind, micro, stage) — the directed pair (src, dst) is
+// determined by the schedule for a given payload, so it lives in the link
+// index below rather than the key.
 type transfer struct {
 	issue    float64
 	issued   bool
@@ -119,28 +120,42 @@ type transfer struct {
 	posted   bool
 	arrival  float64
 	resolved bool
+	link     int // src*P+dst, recorded at issue/post time
 }
 
 // backend is the timing implementation of exec.Backend: virtual per-device
 // clocks, a transfer table with link serialization, and the Fig 7 zone
-// decomposition of every wait.
+// decomposition of every wait. All per-op state lives in flat preallocated
+// slices indexed by arithmetic over the schedule's known shape — the hot
+// path allocates nothing.
 type backend struct {
 	s    *sched.Schedule
 	cost Cost
 	opt  Options
 	res  *Result
 
-	transfers map[msgKey]*transfer
-	linkFree  map[[2]int]float64
-	// Per directed link, sends resolve in issue order; since a directed
-	// link has a unique sender walking its list serially, issue order is
-	// program order and we can resolve eagerly with linkFree.
+	// transfers is indexed by transferIdx(kind, micro, stage): 2·B·S slots.
+	// A directed link's sends resolve in issue order; since a directed link
+	// has a unique sender walking its list serially, issue order is program
+	// order and we can resolve eagerly with linkFree (indexed src*P+dst).
+	transfers []transfer
+	linkFree  []float64
 
 	time     []float64
 	liveActs []int
 	// pendingZone is the zone any wait inside the current batched comm run
 	// charges to, classified at group entry.
 	pendingZone []Zone
+}
+
+// transferIdx flattens a message identity into the dense transfer table:
+// kind bit (activation/gradient), micro-batch, stage.
+func (b *backend) transferIdx(kind sched.OpKind, micro, stage int) int {
+	bit := 0
+	if kind == sched.OpSendGrad {
+		bit = 1
+	}
+	return (bit*b.s.B+micro)*b.s.S + stage
 }
 
 // classify looks past index i in device d's list for the next compute op
@@ -164,7 +179,7 @@ func (b *backend) classify(d, i int) Zone {
 	return ZoneC
 }
 
-func (b *backend) resolveSend(k msgKey, tr *transfer) {
+func (b *backend) resolveSend(tr *transfer) {
 	if tr.resolved || !tr.issued {
 		return
 	}
@@ -175,37 +190,37 @@ func (b *backend) resolveSend(k msgKey, tr *transfer) {
 	if !b.opt.Prefetch && tr.post > start {
 		start = tr.post
 	}
-	lk := [2]int{k.src, k.dst}
-	if b.linkFree[lk] > start {
-		start = b.linkFree[lk]
+	if b.linkFree[tr.link] > start {
+		start = b.linkFree[tr.link]
 	}
-	dur := b.cost.CommTime(k.src, k.dst)
-	b.linkFree[lk] = start + dur
+	p := b.s.P
+	dur := b.cost.CommTime(tr.link/p, tr.link%p)
+	b.linkFree[tr.link] = start + dur
 	tr.arrival = start + dur
 	tr.resolved = true
 }
 
-func (b *backend) getTransfer(k msgKey) *transfer {
-	tr := b.transfers[k]
-	if tr == nil {
-		tr = &transfer{}
-		b.transfers[k] = tr
-	}
-	return tr
-}
-
-func keyOf(d int, a sched.Action) msgKey {
+// transferFor resolves the dense table slot for a comm op on device d,
+// normalizing receives to their matching send's identity and recording the
+// directed link (sender×receiver) the payload travels.
+func (b *backend) transferFor(d int, a sched.Action) *transfer {
+	var kind sched.OpKind
+	var src, dst int
 	switch a.Kind {
 	case sched.OpSendAct:
-		return msgKey{sched.OpSendAct, a.Micro, a.Stage, d, a.Peer}
+		kind, src, dst = sched.OpSendAct, d, a.Peer
 	case sched.OpSendGrad:
-		return msgKey{sched.OpSendGrad, a.Micro, a.Stage, d, a.Peer}
+		kind, src, dst = sched.OpSendGrad, d, a.Peer
 	case sched.OpRecvAct:
-		return msgKey{sched.OpSendAct, a.Micro, a.Stage, a.Peer, d}
+		kind, src, dst = sched.OpSendAct, a.Peer, d
 	case sched.OpRecvGrad:
-		return msgKey{sched.OpSendGrad, a.Micro, a.Stage, a.Peer, d}
+		kind, src, dst = sched.OpSendGrad, a.Peer, d
+	default:
+		panic("sim: not a comm op")
 	}
-	panic("sim: not a comm op")
+	tr := &b.transfers[b.transferIdx(kind, a.Micro, a.Stage)]
+	tr.link = src*b.s.P + dst
+	return tr
 }
 
 func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
@@ -249,20 +264,18 @@ func (b *backend) BeginRun(d int, run []sched.Action, next int) error {
 }
 
 func (b *backend) Send(d int, a sched.Action) error {
-	k := keyOf(d, a)
-	tr := b.getTransfer(k)
+	tr := b.transferFor(d, a)
 	tr.issue = b.time[d]
 	tr.issued = true
-	b.resolveSend(k, tr)
+	b.resolveSend(tr)
 	return nil
 }
 
 func (b *backend) Post(d int, a sched.Action) error {
-	k := keyOf(d, a)
-	tr := b.getTransfer(k)
+	tr := b.transferFor(d, a)
 	tr.post = b.time[d]
 	tr.posted = true
-	b.resolveSend(k, tr)
+	b.resolveSend(tr)
 	return nil
 }
 
@@ -276,14 +289,13 @@ func (b *backend) wait(d int, arrival float64, z Zone) {
 }
 
 func (b *backend) Recv(d, idx int, a sched.Action) error {
-	k := keyOf(d, a)
-	tr := b.getTransfer(k)
+	tr := b.transferFor(d, a)
 	if !tr.posted {
 		// Unbatched mode posts at the op itself, not at group entry.
 		tr.post = b.time[d]
 		tr.posted = true
 	}
-	b.resolveSend(k, tr)
+	b.resolveSend(tr)
 	if !tr.resolved {
 		return exec.ErrBlocked
 	}
@@ -298,13 +310,12 @@ func (b *backend) Recv(d, idx int, a sched.Action) error {
 func (b *backend) Drain(d, idx int, a sched.Action) error {
 	// Strictly ordered blocking send (unbatched ablation): the device
 	// occupies the wire until the transfer completes.
-	k := keyOf(d, a)
-	tr := b.getTransfer(k)
+	tr := b.transferFor(d, a)
 	if !tr.issued {
 		tr.issue = b.time[d]
 		tr.issued = true
 	}
-	b.resolveSend(k, tr)
+	b.resolveSend(tr)
 	if !tr.resolved {
 		return exec.ErrBlocked
 	}
@@ -328,15 +339,14 @@ func Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
 		Busy:     make([]float64, p),
 		End:      make([]float64, p),
 		PeakActs: make([]int, p),
-		Zones:    map[Zone]float64{},
 	}
 	be := &backend{
 		s:           s,
 		cost:        cost,
 		opt:         opt,
 		res:         res,
-		transfers:   map[msgKey]*transfer{},
-		linkFree:    map[[2]int]float64{},
+		transfers:   make([]transfer, 2*s.B*s.S),
+		linkFree:    make([]float64, p*p),
 		time:        make([]float64, p),
 		liveActs:    make([]int, p),
 		pendingZone: make([]Zone, p),
