@@ -132,6 +132,57 @@ func BenchmarkSimRun(b *testing.B) {
 	b.ReportMetric(float64(s.NumActions()), "ops/run")
 }
 
+// BenchmarkRunnerReuse is the steady-state allocation headline of the
+// reusable evaluation pipeline: the same schedule driven repeatedly
+// through one sim.Runner must report ~0 allocs/op (the one-shot
+// BenchmarkSimRun pays its fixed setup block every run; the Runner pays it
+// once, at warmup, outside the timed loop). CI pins this number.
+func BenchmarkRunnerReuse(b *testing.B) {
+	s, err := sched.Hanayo(8, 2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := costmodel.New(costmodel.Workload{Model: nn.BERTStyle(), MicroRows: 2},
+		cluster.TACC(8), s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var costIface sim.Cost = cost
+	r := sim.NewRunner()
+	if _, err := r.Run(s, costIface, sim.DefaultOptions()); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(s, costIface, sim.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NumActions()), "ops/run")
+}
+
+// BenchmarkMemReplayerReuse measures the reused memory-replay executor —
+// the per-key cost of the AutoTune OOM front end.
+func BenchmarkMemReplayerReuse(b *testing.B) {
+	s, err := sched.Hanayo(8, 2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := nn.BERTStyle()
+	r := NewMemReplayer()
+	if _, err := r.Run(s, model, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(s, model, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEvaluate measures one single-pass candidate evaluation — the
 // unit of work the Fig 10 search performs per (scheme, P, B) key: one
 // simulation yielding memory estimate, feasibility and throughput
@@ -236,6 +287,54 @@ func BenchmarkAutoTuneParallel(b *testing.B) {
 	b.StopTimer()
 	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
 		b.ReportMetric(float64(serialPerOp)/float64(perOp), "serial/parallel-x")
+	}
+}
+
+// BenchmarkAutoTunePruned runs the serial fig10-sized sweep with the
+// memtrace-first OOM front end: infeasible cells skip the timing model.
+// On this space the win tracks the OOM fraction — the regime the pruning
+// targets is model sizes where OOM is the common case.
+func BenchmarkAutoTunePruned(b *testing.B) {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	space := autotuneSpace(1)
+	space.Prune = true
+	for i := 0; i < b.N; i++ {
+		if cands := core.AutoTune(cl, model, space); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkTunerRepeatedSweeps is the tuning-service headline: repeated
+// fig10-sized sweeps served by one hanayo.Tuner (arena reuse + the
+// cross-sweep evaluation cache) against back-to-back core.AutoTune calls
+// that rebuild and resimulate everything. The acceptance bar is ≥2×; the
+// cache turns repeat sweeps into pure lookups, so the measured ratio is
+// orders of magnitude.
+func BenchmarkTunerRepeatedSweeps(b *testing.B) {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	space := autotuneSpace(0)
+	// Baseline: back-to-back standalone sweeps, one warmed measurement.
+	core.AutoTune(cl, model, space)
+	start := time.Now()
+	core.AutoTune(cl, model, space)
+	baseline := time.Since(start)
+
+	tn := core.NewTuner(core.TunerOptions{})
+	if cands := tn.AutoTune(cl, model, space); len(cands) == 0 { // cold sweep fills the cache
+		b.Fatal("empty sweep")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := tn.AutoTune(cl, model, space); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(baseline)/float64(perOp), "autotune/tuner-x")
 	}
 }
 

@@ -1,0 +1,175 @@
+package main
+
+// The -json benchmark suite: a fixed set of in-process micro-benchmarks
+// covering the hot paths each PR optimizes (schedule generation, one-shot
+// and reused simulation, memory replay, the AutoTune sweep with and
+// without OOM pruning, and the Tuner's cached steady state), written as a
+// machine-readable BENCH_<n>.json so the perf trajectory is tracked
+// across PRs: run `hanayo-bench -json BENCH_<pr>.json` and commit the
+// artifact.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/memtrace"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchResult is one benchmark's record in the JSON artifact.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchFile is the artifact schema.
+type benchFile struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// measure runs fn under the testing harness and records its headline
+// numbers.
+func measure(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// fig10SizedSpace mirrors the sweep the fig10 experiment and bench_test.go
+// run, so the JSON numbers track the same workload across PRs.
+func fig10SizedSpace(workers int, prune bool) core.SearchSpace {
+	return core.SearchSpace{
+		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
+		Waves:     []int{1, 2, 4, 8},
+		B:         16,
+		MicroRows: 2,
+		Workers:   workers,
+		Prune:     prune,
+	}
+}
+
+// writeBenchJSON runs the suite and writes the artifact to path.
+func writeBenchJSON(path string) error {
+	benchSched, err := sched.Hanayo(8, 2, 16)
+	if err != nil {
+		return err
+	}
+	cost, err := costmodel.New(costmodel.Workload{Model: nn.BERTStyle(), MicroRows: 2},
+		cluster.TACC(8), benchSched)
+	if err != nil {
+		return err
+	}
+	var costIface sim.Cost = cost
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	add := func(r benchResult) { out.Benchmarks = append(out.Benchmarks, r) }
+
+	add(measure("schedule_generation_p32w4b32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := sched.Hanayo(32, 4, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sched.Validate(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("sim_run_oneshot_p8w2b16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(benchSched, costIface, sim.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("sim_runner_reuse_p8w2b16", func(b *testing.B) {
+		r := sim.NewRunner()
+		if _, err := r.Run(benchSched, costIface, sim.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(benchSched, costIface, sim.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("memtrace_replayer_reuse_p8w2b16", func(b *testing.B) {
+		r := memtrace.NewReplayer()
+		if _, err := r.Run(benchSched, model, 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(benchSched, model, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("autotune_fig10_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if cands := core.AutoTune(cl, model, fig10SizedSpace(1, false)); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}))
+	add(measure("autotune_fig10_serial_pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if cands := core.AutoTune(cl, model, fig10SizedSpace(1, true)); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}))
+	add(measure("tuner_fig10_cached_repeat", func(b *testing.B) {
+		tn := core.NewTuner(core.TunerOptions{})
+		if cands := tn.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cands := tn.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -6,17 +6,25 @@
 //	hanayo-bench             # run everything
 //	hanayo-bench -exp fig09  # run one experiment
 //	hanayo-bench -exp fig10 -workers 1   # serial configuration search
+//	hanayo-bench -exp fig10 -prune       # memtrace-first OOM pruning
+//	hanayo-bench -exp fig10 -repeat 20   # steady-state: rerun 20×
 //	hanayo-bench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
+//	hanayo-bench -json BENCH_3.json      # write the perf-tracking artifact
 //	hanayo-bench -list       # list experiment ids
 //
 // The profile flags write standard pprof files (`go tool pprof cpu.prof`)
 // covering exactly the experiment run — the supported way to profile the
-// sweep and simulator hot paths.
+// sweep and simulator hot paths. -repeat reruns the selected experiments
+// (discarding all but the last run's output), which is how to profile the
+// steady state of the reusable evaluation pipeline rather than its warmup.
+// -json runs the fixed micro-benchmark suite in bench.go and writes a
+// machine-readable BENCH_<n>.json tracking the perf trajectory across PRs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,16 +36,27 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (e.g. fig01); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
+	prune := flag.Bool("prune", false, "fig10: memtrace-first OOM pruning (infeasible cells skip the timing simulation)")
+	repeat := flag.Int("repeat", 1, "run the selected experiments this many times (steady-state profiling); only the last run prints")
+	jsonOut := flag.String("json", "", "run the micro-benchmark suite and write machine-readable results to this file (e.g. BENCH_3.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
 	experiments.AutoTuneWorkers = *workers
+	experiments.AutoTunePrune = *prune
 
 	if *list {
 		for _, n := range experiments.Names() {
 			e, _ := experiments.Get(n)
 			fmt.Printf("%-8s %s\n", e.Name, e.Title)
 		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote benchmark results to %s\n", *jsonOut)
 		return
 	}
 	if *cpuprofile != "" {
@@ -54,14 +73,25 @@ func main() {
 		stopProfile = pprof.StopCPUProfile
 		defer pprof.StopCPUProfile()
 	}
-	var err error
-	if *exp == "" {
-		err = experiments.RunAll(os.Stdout)
-	} else {
-		err = experiments.Run(*exp, os.Stdout)
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	if err != nil {
-		fatal(err)
+	for i := 0; i < *repeat; i++ {
+		// Warmup passes discard output so a -repeat run prints one clean
+		// copy while the profile still covers every iteration.
+		var w io.Writer = io.Discard
+		if i == *repeat-1 {
+			w = os.Stdout
+		}
+		var err error
+		if *exp == "" {
+			err = experiments.RunAll(w)
+		} else {
+			err = experiments.Run(*exp, w)
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *memprofile != "" {
 		f, ferr := os.Create(*memprofile)

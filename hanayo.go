@@ -55,10 +55,22 @@ type (
 	// EvalOptions tunes Plan.EvaluateOpts (executor options, or the
 	// sim-free AnalyticOnly memory path).
 	EvalOptions = core.EvalOptions
+	// Tuner is the steady-state tuning service: concurrent AutoTune
+	// sweeps served over a bounded pool of reusable evaluators with a
+	// sharded cross-sweep evaluation cache. Construct once, share freely.
+	Tuner = core.Tuner
+	// TunerOptions bounds the service (pool width, cache size).
+	TunerOptions = core.TunerOptions
 )
 
-// AutoTune sweeps plans over a cluster as in Fig 10.
+// AutoTune sweeps plans over a cluster as in Fig 10. SearchSpace.Prune
+// routes every configuration through the memtrace OOM front end first, so
+// infeasible cells never pay for a timing simulation.
 var AutoTune = core.AutoTune
+
+// NewTuner builds the tuning service for serving many (possibly
+// concurrent, possibly repeated) AutoTune sweeps.
+var NewTuner = core.NewTuner
 
 // Best picks the fastest feasible candidate.
 var Best = core.Best
@@ -116,6 +128,22 @@ type (
 	MemTraceResult = memtrace.Result
 	// MemTraceSample is one point of a device's live-byte curve.
 	MemTraceSample = memtrace.Sample
+	// SimRunner is a reusable simulation handle: it owns the executor's
+	// arenas and drives repeated runs at ~0 allocations in steady state.
+	// Not safe for concurrent use; its Result is valid until the next Run.
+	SimRunner = sim.Runner
+	// MemReplayer is the reusable memory-replay handle, with a budgeted
+	// early-exit mode (RunBudget) for OOM feasibility checks.
+	MemReplayer = memtrace.Replayer
+	// ExecLoop is the reusable interpreter driver behind both handles —
+	// the extension point for allocation-free custom executors.
+	ExecLoop = exec.Loop
+)
+
+// Reusable-executor constructors (zero values also work).
+var (
+	NewSimRunner   = sim.NewRunner
+	NewMemReplayer = memtrace.NewReplayer
 )
 
 // RunMemTrace replays a schedule against the memory model only (the

@@ -94,3 +94,59 @@ func TestFacadeAutoTune(t *testing.T) {
 		t.Fatal("no feasible candidate")
 	}
 }
+
+// TestFacadeTuner exercises the exported tuning service end to end: a
+// served sweep (with pruning) matches the standalone one and a repeat is
+// answered from the cross-sweep cache.
+func TestFacadeTuner(t *testing.T) {
+	space := SearchSpace{
+		PD: [][2]int{{4, 2}}, Waves: []int{1, 2}, B: 4, MicroRows: 1, Prune: true,
+	}
+	want := AutoTune(TACC(8), BERTStyle(), space)
+	tuner := NewTuner(TunerOptions{Runners: 2})
+	got := tuner.AutoTune(TACC(8), BERTStyle(), space)
+	if len(got) != len(want) {
+		t.Fatalf("served sweep has %d candidates, standalone %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Plan.Scheme != want[i].Plan.Scheme || got[i].Throughput != want[i].Throughput {
+			t.Fatalf("rank %d: served (%s, %g) != standalone (%s, %g)",
+				i, got[i].Plan.Scheme, got[i].Throughput, want[i].Plan.Scheme, want[i].Throughput)
+		}
+	}
+	if tuner.CacheLen() == 0 {
+		t.Fatal("served sweep must populate the cache")
+	}
+	again := tuner.AutoTune(TACC(8), BERTStyle(), space)
+	if len(again) != len(want) {
+		t.Fatal("cached repeat lost candidates")
+	}
+
+	// The reusable executors are part of the public surface too.
+	s, err := ScheduleByName("hanayo-w2", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runner SimRunner // zero value works
+	var cost Uniform = Uniform{Tf: 1, Tb: 2, Tc: 0.05}
+	r1, err := runner.Run(s, cost, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := r1.Makespan
+	r2, err := runner.Run(s, cost, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan != mk {
+		t.Fatalf("reused runner diverged: %g != %g", r2.Makespan, mk)
+	}
+	replayer := NewMemReplayer()
+	mt, err := replayer.Run(s, BERTStyle(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Curves) != 4 {
+		t.Fatalf("replay produced %d curves, want 4", len(mt.Curves))
+	}
+}

@@ -5,7 +5,11 @@
 // simulator's communication model needs.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
 
 // GPU describes one accelerator.
 type GPU struct {
@@ -41,6 +45,46 @@ func (c *Cluster) CommTime(i, j int, bytes float64) float64 {
 		return 0
 	}
 	return c.latS[i][j] + bytes/(c.bwGBs[i][j]*1e9)
+}
+
+// Fingerprint returns a stable hash of everything an evaluation reads
+// from the cluster — name, every device's memory/compute/placement, and
+// the full bandwidth/latency matrices. Two clusters with equal
+// fingerprints are interchangeable as simulation inputs, which is what
+// lets a tuning service key cached evaluations across independently
+// constructed Cluster values (each call to a preset builds a fresh one).
+func (c *Cluster) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	// Strings are length-prefixed so field boundaries stay unambiguous in
+	// the byte stream (Name "ab"+"c…" must not collide with "abc"+"…").
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	str(c.Name)
+	u64(uint64(len(c.Devices)))
+	for _, g := range c.Devices {
+		str(g.Name)
+		f64(g.MemGB)
+		f64(g.TFLOPS)
+		u64(uint64(int64(g.NodeID)))
+		u64(uint64(int64(g.SocketID)))
+	}
+	for i := range c.bwGBs {
+		for j := range c.bwGBs[i] {
+			f64(c.bwGBs[i][j])
+			f64(c.latS[i][j])
+		}
+	}
+	return h.Sum64()
 }
 
 // MemBytes returns device i's usable memory in bytes.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -81,5 +82,40 @@ func TestMemAndFlops(t *testing.T) {
 	}
 	if c.Flops(0) != 140e12 {
 		t.Fatalf("flops %g", c.Flops(0))
+	}
+}
+
+// TestFingerprint asserts the content hash is stable across independently
+// built preset instances (the cross-sweep cache hit case) and distinguishes
+// every preset, size, and link perturbation (the must-not-collide cases).
+func TestFingerprint(t *testing.T) {
+	if TACC(8).Fingerprint() != TACC(8).Fingerprint() {
+		t.Fatal("two TACC(8) builds must fingerprint identically")
+	}
+	seen := map[uint64]string{}
+	for _, name := range Names() {
+		for _, n := range []int{8, 16} {
+			c, err := ByName(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := c.Fingerprint()
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("%s(%d) collides with %s", name, n, prev)
+			}
+			seen[fp] = fmt.Sprintf("%s(%d)", name, n)
+		}
+	}
+	// A single perturbed link must change the hash.
+	a, b := FullNVLink(4), FullNVLink(4)
+	b.setLink(0, 1, 2*nvlinkA100BW, nvlinkLat)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("a changed link must change the fingerprint")
+	}
+	// So must a device property.
+	c := FullNVLink(4)
+	c.Devices[2].MemGB = 16
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("a changed device must change the fingerprint")
 	}
 }

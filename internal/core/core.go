@@ -68,13 +68,20 @@ type schedEntry struct {
 	err  error
 }
 
+// memMargin is the fraction of device HBM an evaluation may claim — the
+// standard 5% framework-reserve headroom applied by every feasibility
+// check (Plan.Fits, the sweep's OOM cells, the pruning budgets).
+const memMargin = 0.95
+
 // evalShared is the D-invariant slice of one evaluation: everything a
 // candidate needs except the ×D throughput scaling.
 type evalShared struct {
-	sim        *sim.Result
-	mt         *memtrace.Result // AnalyticOnly path only
-	mem        *memmodel.Estimate
+	sim        *sim.Result        // nil on pruned and cache-hit paths
+	mt         *memtrace.Result   // AnalyticOnly path only
+	mem        *memmodel.Estimate // nil on cross-sweep cache hits
 	fits       bool
+	pruned     bool    // OOM decided by the memtrace front end; no sim ran
+	maxGB      float64 // peak per-device footprint (mem.MaxGB() when mem != nil)
 	perReplica float64 // sequences/s of one replica
 }
 
@@ -260,19 +267,45 @@ func (p Plan) evaluateShared(opt EvalOptions) (*evalShared, error) {
 			return nil, err
 		}
 		mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, mt.PeakActs)
-		return &evalShared{mt: mt, mem: mem, fits: memmodel.FitsCluster(mem, p.Cluster, 0.95)}, nil
+		return &evalShared{mt: mt, mem: mem, maxGB: mem.MaxGB(),
+			fits: memmodel.FitsCluster(mem, p.Cluster, memMargin)}, nil
 	}
-	r, err := p.Simulate(opt.Sim)
+	return p.simEvaluate(s, opt.Sim, nil)
+}
+
+// simEvaluate is the one implementation of the timed-evaluation recipe:
+// one simulation of schedule s against the plan's cluster cost model,
+// yielding the memory estimate, the feasibility verdict and the
+// per-replica throughput together. runner == nil runs a fresh sim.Run and
+// retains its Result in the evalShared (the Plan.Evaluate path); a
+// non-nil runner reuses its arenas, and everything the evaluation keeps
+// is extracted into fresh storage before the Runner's next run
+// invalidates the Result (the sweep/service path).
+func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner) (*evalShared, error) {
+	cost, err := costmodel.New(costmodel.Workload{Model: p.Model, MicroRows: p.MicroRows}, p.Cluster, s)
+	if err != nil {
+		return nil, err
+	}
+	simRuns.Add(1)
+	run := sim.Run
+	if runner != nil {
+		run = runner.Run
+	}
+	r, err := run(s, cost, opt)
 	if err != nil {
 		return nil, err
 	}
 	mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, r.PeakActs)
-	return &evalShared{
-		sim:        r,
+	es := &evalShared{
 		mem:        mem,
-		fits:       memmodel.FitsCluster(mem, p.Cluster, 0.95),
+		maxGB:      mem.MaxGB(),
+		fits:       memmodel.FitsCluster(mem, p.Cluster, memMargin),
 		perReplica: sim.Throughput(r, p.B*p.MicroRows),
-	}, nil
+	}
+	if runner == nil {
+		es.sim = r // fresh single-use result: safe to retain
+	}
+	return es, nil
 }
 
 // MemTrace replays the plan's schedule against the memory model only,
@@ -340,7 +373,12 @@ type Candidate struct {
 	Throughput float64 // sequences/s; 0 when OOM
 	PeakGB     float64
 	OOM        bool
-	Err        error
+	// Pruned marks an OOM verdict produced by the memtrace-first front end
+	// (SearchSpace.Prune): the cell never entered the timing simulation,
+	// and PeakGB is the infeasibility-proving lower bound the aborted
+	// replay observed rather than the full-iteration peak.
+	Pruned bool
+	Err    error
 }
 
 // SearchSpace bounds the AutoTune sweep.
@@ -355,18 +393,140 @@ type SearchSpace struct {
 	// identical candidate ranking — measurements land in deterministic
 	// slots before the final stable sort.
 	Workers int
+	// Prune enables the memtrace-first OOM front end (the paper's
+	// decomposition of plan search into a cheap memory-feasibility check
+	// ahead of the expensive timing model): every unique (scheme, P, B)
+	// key replays memory first (~no timing model) and infeasible cells
+	// skip sim.Run entirely, yet still appear in the ranking as OOM.
+	// Feasible cells pay the replay on top of their one simulation, so
+	// pruning wins whenever OOM cells are common — large models pressing
+	// against device memory, exactly the regime the search targets.
+	Prune bool
 }
 
 // DefaultSchemes returns the baseline set of §5.
 func DefaultSchemes() []string { return []string{"gpipe", "dapple", "chimera-wave"} }
+
+// evaluator bundles the reusable executors one sweep worker drives: a
+// sim.Runner for timed evaluation, a memtrace.Replayer for the OOM front
+// end, and the budget scratch both share. Reused across every key a worker
+// measures — and, inside a Tuner, across sweeps — so the steady-state
+// evaluation pipeline allocates only per-key outputs (estimates), never
+// per-run executor state.
+type evaluator struct {
+	runner *sim.Runner
+	replay *memtrace.Replayer
+	budget []float64 // per-device activation-byte budgets (scratch)
+}
+
+func newEvaluator() *evaluator {
+	return &evaluator{runner: sim.NewRunner(), replay: memtrace.NewReplayer()}
+}
+
+// evalSchedule measures one (scheme, P, B) key on this evaluator's
+// reusable executors: memory replay first when pruning (infeasible cells
+// never reach sim.Run), then one timed simulation for the cells that fit.
+func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*evalShared, error) {
+	cl, model, rows := plan.Cluster, plan.Model, plan.MicroRows
+	if prune {
+		weights := memmodel.Weights(s, model)
+		ev.budget = ev.budget[:0]
+		overweight := false
+		for d := 0; d < s.P; d++ {
+			b := cl.MemBytes(d%cl.N())*memMargin - weights[d]
+			if b < 0 {
+				overweight = true
+			}
+			ev.budget = append(ev.budget, b)
+		}
+		if overweight {
+			// Weights alone overflow a device: OOM before any execution.
+			mem := &memmodel.Estimate{WeightBytes: weights, ActBytes: make([]float64, s.P)}
+			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true}, nil
+		}
+		mt, exceeded, err := ev.replay.RunBudget(s, model, rows, ev.budget)
+		if err != nil {
+			return nil, err
+		}
+		if exceeded {
+			// The replay stopped at the violating forward; its partial
+			// peaks already prove infeasibility (copied out of the
+			// Replayer-owned result before the next replay reuses it).
+			acts := make([]float64, s.P)
+			copy(acts, mt.PeakBytes)
+			mem := &memmodel.Estimate{WeightBytes: weights, ActBytes: acts}
+			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true}, nil
+		}
+		// Fits: fall through to the timing model.
+	}
+	return plan.simEvaluate(s, sim.DefaultOptions(), ev.runner)
+}
+
+// evalKey resolves one key through the cross-sweep cache (when serving
+// under a Tuner) or measures it and publishes the compact entry for
+// future sweeps. own is the worker's private evaluator on standalone
+// sweeps and nil under a Tuner, where a pooled evaluator is checked out
+// only after both the cache and the in-flight table miss — cache hits,
+// flight followers and workers waiting on another builder's per-sweep
+// Once never pin a pool slot. clusterFP is the sweep-constant cluster
+// fingerprint (computed once per sweep, not per key).
+func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) (*evalShared, error) {
+	if t == nil {
+		s, err := plan.Schedule()
+		if err != nil {
+			return nil, err
+		}
+		return own.evalSchedule(s, plan, prune)
+	}
+	gk := keyFor(plan, prune, clusterFP)
+	if ent, ok := t.cache.get(gk); ok {
+		return ent.toShared(), nil
+	}
+	f, leader := t.join(gk)
+	if !leader {
+		// Another sweep is already measuring this key; wait for its
+		// result instead of re-simulating (the computation is
+		// deterministic, so its error is this caller's error too).
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.ent.toShared(), nil
+	}
+	defer t.land(gk, f)
+	s, err := plan.Schedule()
+	if err != nil {
+		f.err = err
+		return nil, err
+	}
+	ev := t.checkout()
+	defer t.checkin(ev)
+	es, err := ev.evalSchedule(s, plan, prune)
+	if err != nil {
+		f.err = err
+		return nil, err
+	}
+	f.ent = tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
+	t.cache.put(gk, f.ent)
+	return es, nil
+}
 
 // AutoTune sweeps the search space and returns all candidates sorted by
 // throughput (best first). OOM candidates sort last — they appear in Fig 10
 // as blank cells. Candidates are measured by a bounded worker pool of
 // space.Workers goroutines sharing one schedule cache, so identical action
 // lists are generated and validated once per sweep; the ranking is
-// independent of the worker count.
+// independent of the worker count. Each worker owns a reusable
+// sim.Runner/memtrace.Replayer pair, and space.Prune routes every key
+// through the memory-replay front end before the timing model.
 func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
+	return sweep(cl, model, space, nil)
+}
+
+// sweep is the shared AutoTune engine; t is nil for one-shot sweeps and
+// the serving Tuner when evaluations should pull pooled evaluators and
+// consult the cross-sweep cache.
+func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []Candidate {
 	if space.Schemes == nil {
 		space.Schemes = DefaultSchemes()
 	}
@@ -419,7 +579,16 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 	}
 
 	// Measure every candidate concurrently into its deterministic slot:
-	// `workers` goroutines pull task indices from a shared feed.
+	// `workers` goroutines pull task indices from a shared feed. A
+	// standalone sweep gives each worker its own evaluator for the sweep's
+	// lifetime; under a Tuner, evalKey checks one out of the bounded
+	// shared pool only while actually measuring, so concurrent sweeps
+	// contend for (and reuse) the same warmed arenas without cache hits
+	// occupying pool slots.
+	var clusterFP uint64
+	if t != nil {
+		clusterFP = cl.Fingerprint() // sweep-constant: hash the matrices once
+	}
 	measured := make([]Candidate, len(tasks))
 	feed := make(chan int)
 	var wg sync.WaitGroup
@@ -427,8 +596,15 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var own *evaluator
+			if t == nil {
+				own = newEvaluator()
+			}
 			for i := range feed {
-				measured[i] = measure(tasks[i].plan)
+				plan := tasks[i].plan
+				es, err := cache.evalFor(schedKey{plan.Scheme, plan.P, plan.B},
+					func() (*evalShared, error) { return evalKey(plan, own, space.Prune, t, clusterFP) })
+				measured[i] = candidateFrom(plan, es, err)
 			}
 		}()
 	}
@@ -465,27 +641,24 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 	return out
 }
 
-// measure evaluates one candidate plan with a single simulation: memory
-// feasibility (OOM cells) and throughput come from the same Evaluate
-// pass, served from the sweep's eval cache when another candidate already
-// simulated this (scheme, P, B). The sweep cache is dropped from the
-// returned candidate so holding one result does not retain every schedule
-// and simulation produced by the sweep.
-func measure(plan Plan) Candidate {
+// candidateFrom scales one key's shared evaluation to a candidate plan.
+// The sweep cache is dropped from the returned candidate so holding one
+// result does not retain every schedule produced by the sweep.
+func candidateFrom(plan Plan, es *evalShared, err error) Candidate {
 	pub := plan
 	pub.cache = nil
 	c := Candidate{Plan: pub}
-	e, err := plan.Evaluate()
 	if err != nil {
 		c.Err = err
 		return c
 	}
-	c.PeakGB = e.Memory.MaxGB()
-	if !e.Fits {
+	c.PeakGB = es.maxGB
+	c.Pruned = es.pruned
+	if !es.fits {
 		c.OOM = true
 		return c
 	}
-	c.Throughput = e.Throughput
+	c.Throughput = es.perReplica * float64(plan.D)
 	return c
 }
 

@@ -1,0 +1,273 @@
+// The tuning service: AutoTune packaged for steady-state serving. One
+// process-wide Tuner owns (1) a bounded pool of reusable evaluators —
+// sim.Runner + memtrace.Replayer pairs whose arenas stay warm across
+// requests, so the per-candidate hot path allocates nothing — and (2) a
+// sharded, size-bounded cross-sweep cache of evaluation results keyed by
+// (cluster fingerprint, model config, scheme, P, B, MicroRows), so
+// repeated and overlapping sweeps — calibration loops, wave sweeps, many
+// users tuning similar models — hit cached evaluations instead of
+// re-simulating. This is the serving layer the ROADMAP's "many concurrent
+// sweeps" scale item calls for, kept in-process; cross-process sharding of
+// the candidate grid is the follow-up step.
+package core
+
+import (
+	"container/list"
+	goruntime "runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+)
+
+// TunerOptions bounds the service.
+type TunerOptions struct {
+	// Runners bounds the evaluator pool — the maximum number of
+	// simulations/replays in flight across ALL concurrent sweeps served by
+	// this Tuner. 0 → one per CPU.
+	Runners int
+	// CacheEntries bounds the cross-sweep evaluation cache (total entries
+	// across shards, evicted LRU per shard). 0 → 4096; negative disables
+	// caching, leaving only arena reuse.
+	CacheEntries int
+}
+
+// Tuner serves AutoTune sweeps over a bounded evaluator pool with a
+// cross-sweep evaluation cache. Safe for concurrent use; construct once
+// and share.
+type Tuner struct {
+	pool  chan *evaluator
+	cache *tunerCache
+
+	// flights deduplicates in-flight evaluations across concurrent
+	// sweeps: the first cache miss on a key leads the computation, later
+	// misses wait on its done channel instead of re-simulating — the
+	// cross-sweep counterpart of sweepCache.evalFor's per-sweep sync.Once.
+	mu      sync.Mutex
+	flights map[tunerKey]*flight
+}
+
+// flight is one in-progress cross-sweep evaluation. The leader writes ent
+// and err strictly before closing done; followers read them only after
+// <-done, so no lock is needed on the fields themselves.
+type flight struct {
+	done chan struct{}
+	ent  tunerEntry
+	err  error
+}
+
+// NewTuner builds a tuning service.
+func NewTuner(opt TunerOptions) *Tuner {
+	n := opt.Runners
+	if n <= 0 {
+		n = goruntime.NumCPU()
+	}
+	t := &Tuner{pool: make(chan *evaluator, n), flights: map[tunerKey]*flight{}}
+	for i := 0; i < n; i++ {
+		t.pool <- newEvaluator()
+	}
+	entries := opt.CacheEntries
+	if entries == 0 {
+		entries = 4096
+	}
+	if entries > 0 {
+		t.cache = newTunerCache(entries)
+	}
+	return t
+}
+
+// join registers interest in key gk: the first caller becomes the leader
+// (leader=true) and must call land when its result is published; later
+// callers receive the existing flight to wait on.
+func (t *Tuner) join(gk tunerKey) (f *flight, leader bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.flights[gk]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	t.flights[gk] = f
+	return f, true
+}
+
+// land retires a flight after its ent/err are final (and, on success, the
+// cache entry is published — put happens before land, so there is no
+// window where neither the cache nor a flight covers the key).
+func (t *Tuner) land(gk tunerKey, f *flight) {
+	t.mu.Lock()
+	delete(t.flights, gk)
+	t.mu.Unlock()
+	close(f.done)
+}
+
+// AutoTune runs one configuration sweep through the service: identical
+// semantics and ranking as the package-level AutoTune (including
+// space.Prune and worker-count invariance), but evaluators come from the
+// Tuner's bounded pool and every (cluster, model, scheme, P, B, MicroRows)
+// evaluation is served from — and published to — the cross-sweep cache.
+func (t *Tuner) AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
+	return sweep(cl, model, space, t)
+}
+
+// checkout blocks until a pooled evaluator is free — the admission control
+// that keeps total simulation concurrency bounded however many sweeps are
+// in flight.
+func (t *Tuner) checkout() *evaluator { return <-t.pool }
+
+func (t *Tuner) checkin(ev *evaluator) { t.pool <- ev }
+
+// CacheLen reports the number of cached cross-sweep evaluations.
+func (t *Tuner) CacheLen() int {
+	if t.cache == nil {
+		return 0
+	}
+	return t.cache.len()
+}
+
+// tunerKey identifies one cached evaluation. The cluster contributes a
+// content fingerprint (presets build a fresh *Cluster per call, so pointer
+// identity would never hit); the model config is comparable and embedded
+// whole. MicroRows is part of the workload (it scales compute and comm
+// times and activation bytes) and prune is included because a pruned OOM
+// cell reports the early-exit peak rather than the full-iteration peak.
+type tunerKey struct {
+	cluster uint64
+	model   nn.Config
+	scheme  string
+	p, b    int
+	rows    int
+	prune   bool
+}
+
+// keyFor builds the cross-sweep cache key for one plan. clusterFP is the
+// plan's cluster fingerprint, hashed once per sweep by the caller (the
+// matrices are O(P²) to hash and sweep-constant).
+func keyFor(plan Plan, prune bool, clusterFP uint64) tunerKey {
+	return tunerKey{
+		cluster: clusterFP,
+		model:   plan.Model,
+		scheme:  plan.Scheme,
+		p:       plan.P,
+		b:       plan.B,
+		rows:    plan.MicroRows,
+		prune:   prune,
+	}
+}
+
+// tunerEntry is the compact, D-invariant result of one evaluation — plain
+// scalars only, deliberately free of sim/memtrace pointers so cached
+// entries never retain runner-owned arenas and are safe to share across
+// goroutines.
+type tunerEntry struct {
+	perReplica float64
+	maxGB      float64
+	fits       bool
+	pruned     bool
+}
+
+// toShared lifts a compact cache entry back into the sweep's evaluation
+// shape (no sim/mem pointers: those never enter the cache).
+func (e tunerEntry) toShared() *evalShared {
+	return &evalShared{fits: e.fits, pruned: e.pruned, maxGB: e.maxGB, perReplica: e.perReplica}
+}
+
+// tunerShards is the shard count of the cross-sweep cache; key hashes
+// spread lock contention across shards so concurrent sweeps rarely collide.
+const tunerShards = 16
+
+// tunerCache is a sharded, size-bounded (per-shard LRU) map of evaluation
+// results.
+type tunerCache struct {
+	shards [tunerShards]tunerShard
+}
+
+type tunerShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[tunerKey]*list.Element
+	lru list.List // front = most recent; values are *tunerItem
+}
+
+type tunerItem struct {
+	key tunerKey
+	ent tunerEntry
+}
+
+func newTunerCache(entries int) *tunerCache {
+	// Distribute the total bound exactly: the first entries%tunerShards
+	// shards hold one extra entry, and small bounds leave some shards at
+	// capacity zero (put drops the entry) rather than silently inflating
+	// the configured total to one per shard.
+	per, rem := entries/tunerShards, entries%tunerShards
+	c := &tunerCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		if i < rem {
+			c.shards[i].cap++
+		}
+		c.shards[i].m = make(map[tunerKey]*list.Element)
+	}
+	return c
+}
+
+// shardOf mixes the key's cheap discriminants; the cluster fingerprint is
+// already a high-quality 64-bit hash, so folding in the shape bits is
+// enough to spread schemes of one cluster across shards.
+func (c *tunerCache) shardOf(k tunerKey) *tunerShard {
+	h := k.cluster
+	h ^= uint64(k.p) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.b) * 0xbf58476d1ce4e5b9
+	h ^= uint64(k.rows) * 0x94d049bb133111eb
+	for _, ch := range k.scheme {
+		h = h*131 + uint64(ch)
+	}
+	return &c.shards[h%tunerShards]
+}
+
+func (c *tunerCache) get(k tunerKey) (tunerEntry, bool) {
+	if c == nil { // caching disabled: every lookup misses
+		return tunerEntry{}, false
+	}
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[k]
+	if !ok {
+		return tunerEntry{}, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*tunerItem).ent, true
+}
+
+func (c *tunerCache) put(k tunerKey, e tunerEntry) {
+	if c == nil { // caching disabled: drop the entry
+		return
+	}
+	s := c.shardOf(k)
+	if s.cap == 0 { // a tight total bound left this shard with no budget
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		el.Value.(*tunerItem).ent = e
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.lru.Len() >= s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.m, oldest.Value.(*tunerItem).key)
+	}
+	s.m[k] = s.lru.PushFront(&tunerItem{key: k, ent: e})
+}
+
+func (c *tunerCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

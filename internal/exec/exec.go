@@ -235,36 +235,79 @@ func (ex *interp) step(m *machine) (bool, error) {
 	return true, nil
 }
 
-func newInterp(s *sched.Schedule, b Backend, opt Options) (*interp, []*machine) {
-	ex := &interp{opt: opt, backend: b, records: make([][]Record, s.P)}
-	ms := make([]*machine, s.P)
-	for d := range ms {
-		// Preallocate each device's timeline at its exact compute-op count
-		// so the walking loop never grows a Record slice mid-run.
+// Arena reslices s to n elements, reallocating only when capacity is
+// insufficient (monotonic growth) and zeroing the active window, so
+// reused storage starts every run in the fresh-allocation state. The one
+// shared grow-or-reuse helper behind every reusable backend's arenas
+// (sim.Runner, memtrace.Replayer); Loop.prepare's timeline reset
+// deliberately differs — timelines are append-only, so it keeps length 0
+// instead of zero-filling.
+func Arena[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Loop is a reusable interpreter driver: it owns the per-device machine
+// states and Record timeline arenas and grows them monotonically to the
+// largest schedule shape it has driven, so repeated runs of same-shaped
+// schedules (wave sweeps, calibration loops, a tuning service) allocate
+// nothing in steady state. The zero value is ready to use. A Loop is NOT
+// safe for concurrent runs; the timelines returned by Run/RunConcurrent
+// are owned by the Loop and valid only until its next run.
+//
+// The package-level Run and RunConcurrent drive a fresh Loop per call and
+// therefore return timelines the caller may retain.
+type Loop struct {
+	records [][]Record
+	ms      []machine
+}
+
+// prepare resets the Loop for schedule s, reusing machine and timeline
+// storage when the arenas are already large enough.
+func (l *Loop) prepare(s *sched.Schedule) {
+	if cap(l.ms) < s.P {
+		l.ms = make([]machine, s.P)
+		l.records = make([][]Record, s.P)
+	}
+	l.ms = l.ms[:s.P]
+	l.records = l.records[:s.P]
+	for d := 0; d < s.P; d++ {
+		// Size each device's timeline at its exact compute-op count so the
+		// walking loop never grows a Record slice mid-run.
 		n := 0
 		for _, a := range s.Lists[d] {
 			if a.Kind.IsCompute() {
 				n++
 			}
 		}
-		ex.records[d] = make([]Record, 0, n)
-		ms[d] = &machine{dev: d, list: s.Lists[d]}
+		if cap(l.records[d]) < n {
+			l.records[d] = make([]Record, 0, n)
+		} else {
+			l.records[d] = l.records[d][:0]
+		}
+		l.ms[d] = machine{dev: d, list: s.Lists[d]}
 	}
-	return ex, ms
 }
 
 // Run drives the interpreter cooperatively in a single goroutine: devices
 // advance round-robin as far as they can, and a full pass with no progress
 // is a communication deadlock. Returns the per-device compute Record
-// timelines. This is the driver for discrete-event (timing) backends.
-func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
-	ex, ms := newInterp(s, b, opt)
+// timelines (owned by the Loop, valid until its next run). This is the
+// driver for discrete-event (timing) backends.
+func (l *Loop) Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
+	l.prepare(s)
+	ex := interp{opt: opt, backend: b, records: l.records}
+	ms := l.ms
 	for {
 		progress := false
 		done := true
 		for d := 0; d < s.P; d++ {
 			for {
-				ok, err := ex.step(ms[d])
+				ok, err := ex.step(&ms[d])
 				if err != nil {
 					return ex.records, err
 				}
@@ -291,6 +334,13 @@ func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
 	}
 }
 
+// Run drives a fresh Loop cooperatively; see Loop.Run. The returned
+// timelines are not shared with any reusable state.
+func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
+	var l Loop
+	return l.Run(s, b, opt)
+}
+
 // RunConcurrent drives the interpreter with one goroutine per device; the
 // backend's Recv blocks instead of returning ErrBlocked. All devices are
 // joined before returning. This is the driver for real-tensor backends.
@@ -305,7 +355,19 @@ func Run(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
 // (schedules passing sched.Validate cannot reach the built-in backends'
 // error paths).
 func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
-	ex, ms := newInterp(s, b, opt)
+	var l Loop
+	return l.RunConcurrent(s, b, opt)
+}
+
+// RunConcurrent drives the interpreter with one goroutine per device over
+// the Loop's reused machine and timeline arenas; see the package-level
+// RunConcurrent for the semantics. All device goroutines are joined before
+// returning — also on the cancellation path — so the Loop is immediately
+// reusable after a failed run and a canceled run leaks nothing.
+func (l *Loop) RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error) {
+	l.prepare(s)
+	ex := &interp{opt: opt, backend: b, records: l.records}
+	ms := l.ms
 	done := make(chan struct{})
 	var cancel sync.Once
 	if c, ok := b.(Cancellable); ok {
@@ -333,7 +395,7 @@ func RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Record, error
 					return
 				}
 			}
-		}(ms[d])
+		}(&ms[d])
 	}
 	wg.Wait()
 	close(errs)

@@ -1,0 +1,120 @@
+package exec_test
+
+// Reuse and leak tests for the exec.Loop reusable driver: the Record
+// timeline arenas behind sim.Runner / memtrace.Replayer must survive shape
+// changes, repeated runs, and — for the concurrent driver — cancellation
+// mid-schedule, without leaking goroutines or stale records.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sched"
+)
+
+// TestLoopReuseMatchesFreshRuns drives one Loop across growing and
+// shrinking shapes and checks each run's timelines against a fresh
+// package-level Run.
+func TestLoopReuseMatchesFreshRuns(t *testing.T) {
+	var l exec.Loop
+	shapes := [][2]int{{2, 2}, {8, 8}, {4, 4}, {2, 2}}
+	for _, shape := range shapes {
+		s, err := sched.Hanayo(shape[0], 2, shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cFresh, cReused countBackend
+		fresh, err := exec.Run(s, &cFresh, exec.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := l.Run(s, &cReused, exec.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reused) != len(fresh) {
+			t.Fatalf("P=%d: %d devices, fresh run has %d", shape[0], len(reused), len(fresh))
+		}
+		for d := range fresh {
+			if len(reused[d]) != len(fresh[d]) {
+				t.Fatalf("P=%d device %d: %d records, fresh run has %d",
+					shape[0], d, len(reused[d]), len(fresh[d]))
+			}
+			for i := range fresh[d] {
+				if reused[d][i].Action != fresh[d][i].Action {
+					t.Fatalf("P=%d device %d record %d: %+v != %+v",
+						shape[0], d, i, reused[d][i].Action, fresh[d][i].Action)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopAllocsSteadyState pins the reusable driver at zero allocations
+// per run once warm (the countBackend itself allocates nothing).
+func TestLoopAllocsSteadyState(t *testing.T) {
+	s, err := sched.Hanayo(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l exec.Loop
+	var c countBackend
+	if _, err := l.Run(s, &c, exec.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := l.Run(s, &c, exec.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Loop.Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestLoopConcurrentReuseAfterCancellation is the leak/reuse test for
+// RunConcurrent under cancellation: a run torn down by a mid-schedule hook
+// error must join every device goroutine (no leaks), and the same Loop
+// must then drive a clean run producing complete, correct timelines (no
+// stale partial records from the aborted iteration).
+func TestLoopConcurrentReuseAfterCancellation(t *testing.T) {
+	s, err := sched.DAPPLE(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	var l exec.Loop
+	for i := 0; i < 3; i++ {
+		if _, err := l.RunConcurrent(s, &cancelBackend{}, exec.DefaultOptions()); err == nil {
+			t.Fatal("the injected hook failure must surface")
+		}
+	}
+	// All device goroutines must have been joined despite the teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("cancelled runs leaked goroutines: %d before, %d after", before, now)
+	}
+
+	// The same Loop must produce a full, clean iteration afterwards.
+	var c countBackend
+	recs, err := l.RunConcurrent(s, &c, exec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(s.CountKind(sched.OpForward) + s.CountKind(sched.OpBackward))
+	if got := c.compute.Load(); got != want {
+		t.Fatalf("post-cancellation run retired %d compute ops, schedule has %d", got, want)
+	}
+	var n int64
+	for _, rs := range recs {
+		n += int64(len(rs))
+	}
+	if n != want {
+		t.Fatalf("post-cancellation timelines hold %d records, want %d (stale records from the aborted run?)", n, want)
+	}
+}

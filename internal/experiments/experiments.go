@@ -25,6 +25,13 @@ var registry = map[string]Experiment{}
 // cmd/hanayo-bench threads its -workers flag here.
 var AutoTuneWorkers int
 
+// AutoTunePrune routes the fig10 search through the memtrace-first OOM
+// front end (SearchSpace.Prune): infeasible cells skip the timing
+// simulation entirely. cmd/hanayo-bench threads its -prune flag here.
+// OOM rows then report the early-exit peak (a lower bound that proves
+// infeasibility) instead of the full-iteration peak.
+var AutoTunePrune bool
+
 func register(name, title string, run func(w io.Writer) error) {
 	registry[name] = Experiment{Name: name, Title: title, Run: run}
 }

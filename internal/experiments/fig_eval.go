@@ -151,6 +151,7 @@ func fig10(w io.Writer) error {
 		B:         16,
 		MicroRows: 2, // batch sized to press against the 40 GB limit (§5.3)
 		Workers:   AutoTuneWorkers,
+		Prune:     AutoTunePrune,
 	})
 	fmt.Fprintf(w, "%-14s %6s %4s %12s %9s %5s\n", "scheme", "P", "D", "seq/s", "peakGB", "OOM")
 	for _, c := range cands {

@@ -121,28 +121,51 @@ type Options struct {
 
 // ForScheduleOpts is ForSchedule with explicit Options.
 func ForScheduleOpts(sc *sched.Schedule, cfg nn.Config, rows int, peakActs []int, opt Options) *Estimate {
+	stageAct := StageActBytes(sc, cfg, rows)
+	if opt.Checkpoint {
+		// One boundary tensor per layer instead of the full internals.
+		layersPerStage := float64(cfg.Layers) / float64(sc.S)
+		stageAct = layersPerStage * float64(cfg.SeqLen) * float64(rows) * float64(cfg.Hidden) * 2
+	}
+	e := &Estimate{
+		WeightBytes: WeightsOpts(sc, cfg, opt),
+		ActBytes:    make([]float64, sc.P),
+	}
+	for d := 0; d < sc.P; d++ {
+		e.ActBytes[d] = float64(peakActs[d]) * stageAct
+	}
+	return e
+}
+
+// StageActBytes returns the activation bytes one live stage-activation
+// holds for this schedule's stage granularity — the unit both the memtrace
+// replay and the estimate's ActBytes count in.
+func StageActBytes(sc *sched.Schedule, cfg nn.Config, rows int) float64 {
+	return float64(cfg.Layers) / float64(sc.S) * LayerActBytes(cfg, rows)
+}
+
+// Weights returns the per-device weight/gradient/optimizer-state bytes of
+// one schedule — the activation-independent slice of the estimate, fixed
+// by the placement before any execution. Subtracting it from device
+// capacity yields the live-activation budget a memtrace replay can check
+// against without a timing model (the AutoTune OOM-pruning front end).
+func Weights(sc *sched.Schedule, cfg nn.Config) []float64 {
+	return WeightsOpts(sc, cfg, Options{})
+}
+
+// WeightsOpts is Weights with explicit Options.
+func WeightsOpts(sc *sched.Schedule, cfg nn.Config, opt Options) []float64 {
 	p := sc.P
 	layersPerStage := float64(cfg.Layers) / float64(sc.S)
 	stageParams := layersPerStage * ParamsPerLayer(cfg)
-	stageAct := layersPerStage * LayerActBytes(cfg, rows)
-	if opt.Checkpoint {
-		// One boundary tensor per layer instead of the full internals.
-		stageAct = layersPerStage * float64(cfg.SeqLen) * float64(rows) * float64(cfg.Hidden) * 2
-	}
 	bytesPerParam := ZeROBytesPerParam(opt.ZeRODP)
 	embedShare := EmbeddingParams(cfg) / float64(p) // spread across devices
-
-	e := &Estimate{
-		WeightBytes: make([]float64, p),
-		ActBytes:    make([]float64, p),
-	}
+	out := make([]float64, p)
 	for d := 0; d < p; d++ {
 		chunks := float64(len(sc.Mapping.Hosted(d)))
-		e.WeightBytes[d] = (chunks*stageParams + embedShare) * bytesPerParam
-		acts := float64(peakActs[d])
-		e.ActBytes[d] = acts * stageAct
+		out[d] = (chunks*stageParams + embedShare) * bytesPerParam
 	}
-	return e
+	return out
 }
 
 // AnalyticPeakActs returns per-device peak live-activation counts without

@@ -17,6 +17,7 @@
 package memtrace
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/exec"
@@ -46,6 +47,12 @@ type Result struct {
 	Curves [][]Sample
 }
 
+// errBudget is the internal sentinel a budgeted replay's Compute hook
+// returns the moment a device's live-byte curve exceeds its budget; the
+// cooperative driver aborts the walk and RunBudget translates it into the
+// exceeded verdict — the memtrace-first OOM early exit.
+var errBudget = errors.New("memtrace: budget exceeded")
+
 // backend implements exec.Backend over allocation counters only. Comm ops
 // complete instantly (the replay measures residency, not waiting), so the
 // cooperative driver never blocks and every schedule that validates
@@ -53,6 +60,9 @@ type Result struct {
 type backend struct {
 	s        *sched.Schedule
 	stageAct float64 // activation bytes one stage holds per micro-batch
+	// budget, when non-nil, is the per-device live-activation-byte ceiling:
+	// the first forward that pushes a device past it aborts the replay.
+	budget []float64
 
 	ops   []int // per device: compute ops retired
 	live  []int // per device: live stage-activations
@@ -77,6 +87,11 @@ func (b *backend) Compute(d int, a sched.Action) (start, end float64, err error)
 	b.res.Curves[d] = append(b.res.Curves[d], Sample{Op: b.ops[d], Bytes: b.bytes[d]})
 	start = float64(b.ops[d])
 	b.ops[d]++
+	if a.Kind == sched.OpForward && b.budget != nil && b.bytes[d] > b.budget[d] {
+		// Abort after recording the violating forward, so the partial
+		// curve includes (and ends at) the over-budget sample.
+		return start, start + 1, errBudget
+	}
 	return start, start + 1, nil
 }
 
@@ -88,19 +103,61 @@ func (b *backend) Drain(d, idx int, a sched.Action) error             { return n
 func (b *backend) Flush(d int, a sched.Action) error                  { return nil }
 func (b *backend) Step(d int, a sched.Action) error                   { return nil }
 
-// Run replays schedule s for model cfg at rows sequences per micro-batch
-// and returns the measured per-device memory profile.
-func Run(s *sched.Schedule, cfg nn.Config, rows int) (*Result, error) {
+// Replayer is the reusable form of Run: it owns the replay counters, the
+// Result's curve storage and the interpreter's timeline arenas, growing
+// them monotonically to the largest schedule shape seen, so repeated
+// replays (the AutoTune OOM-pruning front end, calibration loops) run at
+// ~0 allocations in steady state.
+//
+// The zero value is ready to use. A Replayer is NOT safe for concurrent
+// use, and the *Result it returns is owned by the Replayer: it is valid
+// only until the next replay. The package-level Run drives a fresh
+// single-use Replayer and returns a freely retainable Result.
+type Replayer struct {
+	loop exec.Loop
+	be   backend
+	res  Result
+}
+
+// NewReplayer returns an empty Replayer; arenas are allocated lazily.
+func NewReplayer() *Replayer { return &Replayer{} }
+
+// Run replays schedule s for model cfg at rows sequences per micro-batch,
+// reusing the Replayer's arenas. The returned Result is valid only until
+// the next replay.
+func (r *Replayer) Run(s *sched.Schedule, cfg nn.Config, rows int) (*Result, error) {
+	res, _, err := r.replay(s, cfg, rows, nil)
+	return res, err
+}
+
+// RunBudget is Run with an early exit: budget[d] is device d's live
+// activation-byte ceiling (capacity minus its schedule-static weight and
+// optimizer bytes), and the replay aborts the moment any device's
+// live-byte curve exceeds it — the memory-feasibility check in front of
+// the timing model, at a fraction of a simulation's cost. exceeded=true
+// means the schedule cannot fit; the partial Result then holds the curves
+// and peaks observed up to (and including) the violating forward, so the
+// reported peak is a lower bound that already proves infeasibility.
+func (r *Replayer) RunBudget(s *sched.Schedule, cfg nn.Config, rows int, budget []float64) (res *Result, exceeded bool, err error) {
+	if len(budget) < s.P {
+		return nil, false, fmt.Errorf("memtrace: budget covers %d devices, schedule has %d", len(budget), s.P)
+	}
+	return r.replay(s, cfg, rows, budget)
+}
+
+func (r *Replayer) replay(s *sched.Schedule, cfg nn.Config, rows int, budget []float64) (*Result, bool, error) {
 	if rows <= 0 {
-		return nil, fmt.Errorf("memtrace: rows must be positive, got %d", rows)
+		return nil, false, fmt.Errorf("memtrace: rows must be positive, got %d", rows)
 	}
 	p := s.P
-	res := &Result{
-		Schedule:  s,
-		PeakActs:  make([]int, p),
-		PeakBytes: make([]float64, p),
-		Curves:    make([][]Sample, p),
+	res := &r.res
+	res.Schedule = s
+	res.PeakActs = exec.Arena(res.PeakActs, p)
+	res.PeakBytes = exec.Arena(res.PeakBytes, p)
+	if cap(res.Curves) < p {
+		res.Curves = make([][]Sample, p)
 	}
+	res.Curves = res.Curves[:p]
 	for d := 0; d < p; d++ {
 		n := 0
 		for _, a := range s.Lists[d] {
@@ -108,19 +165,33 @@ func Run(s *sched.Schedule, cfg nn.Config, rows int) (*Result, error) {
 				n++
 			}
 		}
-		res.Curves[d] = make([]Sample, 0, n)
+		if cap(res.Curves[d]) < n {
+			res.Curves[d] = make([]Sample, 0, n)
+		} else {
+			res.Curves[d] = res.Curves[d][:0]
+		}
 	}
 	layersPerStage := float64(cfg.Layers) / float64(s.S)
-	be := &backend{
-		s:        s,
-		stageAct: layersPerStage * memmodel.LayerActBytes(cfg, rows),
-		ops:      make([]int, p),
-		live:     make([]int, p),
-		bytes:    make([]float64, p),
-		res:      res,
+	be := &r.be
+	be.s = s
+	be.stageAct = layersPerStage * memmodel.LayerActBytes(cfg, rows)
+	be.budget = budget
+	be.ops = exec.Arena(be.ops, p)
+	be.live = exec.Arena(be.live, p)
+	be.bytes = exec.Arena(be.bytes, p)
+	be.res = res
+	if _, err := r.loop.Run(s, be, exec.DefaultOptions()); err != nil {
+		if errors.Is(err, errBudget) {
+			return res, true, nil
+		}
+		return nil, false, fmt.Errorf("memtrace: %w", err)
 	}
-	if _, err := exec.Run(s, be, exec.DefaultOptions()); err != nil {
-		return nil, fmt.Errorf("memtrace: %w", err)
-	}
-	return res, nil
+	return res, false, nil
+}
+
+// Run replays schedule s for model cfg at rows sequences per micro-batch
+// and returns the measured per-device memory profile. It drives a fresh
+// single-use Replayer, so the Result may be retained freely.
+func Run(s *sched.Schedule, cfg nn.Config, rows int) (*Result, error) {
+	return NewReplayer().Run(s, cfg, rows)
 }
