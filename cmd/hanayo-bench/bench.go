@@ -3,18 +3,21 @@ package main
 // The -json benchmark suite: a fixed set of in-process micro-benchmarks
 // covering the hot paths each PR optimizes (schedule generation, one-shot
 // and reused simulation, memory replay, the AutoTune sweep with and
-// without OOM pruning, and the Tuner's cached steady state), written as a
-// machine-readable BENCH_<n>.json so the perf trajectory is tracked
-// across PRs: run `hanayo-bench -json BENCH_<pr>.json` and commit the
-// artifact.
+// without OOM pruning, the Tuner's cached steady state, and the
+// distributed tier — the wire codec and a cold Tuner served entirely over
+// TCP), written as a machine-readable BENCH_<n>.json so the perf
+// trajectory is tracked across PRs: run `hanayo-bench -json
+// BENCH_<pr>.json` and commit the artifact.
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/cachewire"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -156,6 +159,45 @@ func writeBenchJSON(path string) error {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if cands := tn.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}))
+	add(measure("cachewire_entry_roundtrip", func(b *testing.B) {
+		e := cachewire.Entry{PerReplica: 123.5, MaxGB: 38.25, Fits: true}
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = cachewire.AppendEntry(buf[:0], e)
+			if _, err := cachewire.DecodeEntry(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// The distributed-sweep steady state: a brand-new Tuner (cold local
+	// cache, as a fresh worker process would be) sweeping a grid whose
+	// every key is already published to the TCP tier — pure wire cost, no
+	// simulations.
+	add(measure("tuner_fig10_remote_tcp_repeat", func(b *testing.B) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := cachewire.NewServer(0)
+		go srv.Serve(l)
+		defer srv.Close()
+		client, err := cachewire.Dial(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		warm := core.NewTuner(core.TunerOptions{Remote: client})
+		if cands := warm.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cold := core.NewTuner(core.TunerOptions{Remote: client})
+			if cands := cold.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
 				b.Fatal("empty sweep")
 			}
 		}

@@ -1,0 +1,282 @@
+// Command hanayo-tuned runs the distributed configuration sweep: a shared
+// cache tier, sharded worker sweeps, and the merge that reassembles the
+// single-process ranking bit for bit.
+//
+// Usage:
+//
+//	hanayo-tuned -serve -addr :7070                   # the shared cache tier
+//	hanayo-tuned -worker -shard 0 -of 2 -remote host:7070 -o shard0.json
+//	hanayo-tuned -worker -shard 1 -of 2 -remote host:7070 -o shard1.json
+//	hanayo-tuned -merge shard0.json shard1.json       # full AutoTune ranking
+//
+// Each worker evaluates a disjoint slice of the (scheme, P, B) candidate
+// grid (SearchSpace.Shard) through its own Tuner, publishing every
+// evaluation to the shared tier under the stable 64-bit key hash. Workers
+// write their slice in grid order as JSON; -merge interleaves the files
+// (in shard order) back into the exact single-process grid and applies
+// the identical ranking sort, so the merged table equals what one process
+// running plain AutoTune would print. Because the tier outlives the
+// workers, repeating a sweep — from any process, sharded or not — costs
+// zero simulations; workers report the simulations they actually issued
+// in the JSON (`sims`) and on stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cachewire"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run the shared cache tier")
+	addr := flag.String("addr", ":7070", "listen address for -serve")
+	entries := flag.Int("entries", 0, "cache-tier entry bound for -serve (0 = 65536)")
+
+	worker := flag.Bool("worker", false, "run one shard of the sweep")
+	shard := flag.Int("shard", 0, "shard index for -worker (0-based)")
+	of := flag.Int("of", 1, "total shard count for -worker")
+	remote := flag.String("remote", "", "cache-tier address for -worker (host:port); empty = no shared tier")
+	clName := flag.String("cluster", "tacc", "cluster preset (tacc, tc, pc, fc)")
+	devices := flag.Int("devices", 32, "cluster size")
+	modelName := flag.String("model", "bert", "model preset (bert, gpt)")
+	b := flag.Int("b", 16, "micro-batches per replica")
+	rows := flag.Int("rows", 2, "sequences per micro-batch")
+	prune := flag.Bool("prune", false, "memtrace-first OOM pruning")
+	workers := flag.Int("workers", 0, "sweep worker goroutines: 0 = one per CPU")
+	out := flag.String("o", "", "worker output file (default stdout)")
+
+	merge := flag.Bool("merge", false, "merge worker shard files (in shard order) into the full ranking")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *serve:
+		err = runServe(*addr, *entries)
+	case *worker:
+		err = runWorker(workerConfig{
+			shard: *shard, of: *of, remote: *remote,
+			cluster: *clName, devices: *devices, model: *modelName,
+			b: *b, rows: *rows, prune: *prune, workers: *workers, out: *out,
+		})
+	case *merge:
+		err = runMerge(flag.Args(), os.Stdout)
+	default:
+		err = fmt.Errorf("pick a mode: -serve, -worker or -merge (see -h)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanayo-tuned:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(addr string, entries int) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout first thing: scripts (and the
+	// integration test) bind ":0" and scrape the real port from this line.
+	fmt.Printf("hanayo-tuned: cache tier listening on %s\n", l.Addr())
+	return cachewire.NewServer(entries).Serve(l)
+}
+
+type workerConfig struct {
+	shard, of        int
+	remote           string
+	cluster          string
+	devices          int
+	model            string
+	b, rows, workers int
+	prune            bool
+	out              string
+}
+
+// shardFile is the worker's JSON output: enough header to let -merge
+// check the files describe one coherent partition, the candidates in grid
+// order, and the number of simulations the worker actually issued (0 when
+// the shared tier already held every key).
+type shardFile struct {
+	Shard      int             `json:"shard"`
+	Of         int             `json:"of"`
+	Cluster    string          `json:"cluster"`
+	Devices    int             `json:"devices"`
+	Model      string          `json:"model"`
+	B          int             `json:"b"`
+	MicroRows  int             `json:"micro_rows"`
+	Prune      bool            `json:"prune"`
+	Sims       int64           `json:"sims"`
+	Candidates []wireCandidate `json:"candidates"`
+}
+
+// wireCandidate is the JSON form of one core.Candidate. Floats survive
+// encoding/json exactly (shortest round-tripping decimal), so merged
+// rankings stay bit-for-bit comparable to in-process sweeps.
+type wireCandidate struct {
+	Scheme     string  `json:"scheme"`
+	P          int     `json:"p"`
+	D          int     `json:"d"`
+	B          int     `json:"b"`
+	Throughput float64 `json:"throughput"`
+	PeakGB     float64 `json:"peak_gb"`
+	OOM        bool    `json:"oom,omitempty"`
+	Pruned     bool    `json:"pruned,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+func toWire(cands []core.Candidate) []wireCandidate {
+	out := make([]wireCandidate, len(cands))
+	for i, c := range cands {
+		out[i] = wireCandidate{
+			Scheme: c.Plan.Scheme, P: c.Plan.P, D: c.Plan.D, B: c.Plan.B,
+			Throughput: c.Throughput, PeakGB: c.PeakGB, OOM: c.OOM, Pruned: c.Pruned,
+		}
+		if c.Err != nil {
+			out[i].Err = c.Err.Error()
+		}
+	}
+	return out
+}
+
+func fromWire(cands []wireCandidate) []core.Candidate {
+	out := make([]core.Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = core.Candidate{
+			Plan:       core.Plan{Scheme: c.Scheme, P: c.P, D: c.D, B: c.B},
+			Throughput: c.Throughput, PeakGB: c.PeakGB, OOM: c.OOM, Pruned: c.Pruned,
+		}
+		if c.Err != "" {
+			out[i].Err = fmt.Errorf("%s", c.Err)
+		}
+	}
+	return out
+}
+
+func modelByName(name string) (nn.Config, error) {
+	switch name {
+	case "bert":
+		return nn.BERTStyle(), nil
+	case "gpt":
+		return nn.GPTStyle(), nil
+	default:
+		return nn.Config{}, fmt.Errorf("unknown model %q (bert, gpt)", name)
+	}
+}
+
+func runWorker(cfg workerConfig) error {
+	if cfg.shard < 0 || cfg.of < 1 || cfg.shard >= cfg.of {
+		return fmt.Errorf("-shard %d -of %d is not a valid assignment", cfg.shard, cfg.of)
+	}
+	cl, err := cluster.ByName(cfg.cluster, cfg.devices)
+	if err != nil {
+		return err
+	}
+	model, err := modelByName(cfg.model)
+	if err != nil {
+		return err
+	}
+	opts := core.TunerOptions{}
+	if cfg.remote != "" {
+		client, err := cachewire.Dial(cfg.remote)
+		if err != nil {
+			return fmt.Errorf("cache tier: %w", err)
+		}
+		defer client.Close()
+		opts.Remote = client
+	}
+	tuner := core.NewTuner(opts)
+	space := core.SearchSpace{
+		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune, Workers: cfg.workers,
+	}.Shard(cfg.shard, cfg.of)
+
+	start := time.Now()
+	before := core.SimRuns()
+	cands := tuner.AutoTuneShard(cl, model, space)
+	sims := core.SimRuns() - before
+
+	file := shardFile{
+		Shard: cfg.shard, Of: cfg.of,
+		Cluster: cfg.cluster, Devices: cfg.devices, Model: cfg.model,
+		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune,
+		Sims: sims, Candidates: toWire(cands),
+	}
+	w := os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hanayo-tuned: shard %d/%d on %s×%d: %d candidates, %d simulations, %v (remote errors: %d)\n",
+		cfg.shard, cfg.of, cfg.cluster, cfg.devices, len(cands), sims,
+		time.Since(start).Round(time.Millisecond), tuner.RemoteErrors())
+	return nil
+}
+
+func runMerge(paths []string, w io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs the shard files, in shard order")
+	}
+	parts := make([][]core.Candidate, len(paths))
+	var head shardFile
+	var sims int64
+	for i, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var sf shardFile
+		if err := json.Unmarshal(raw, &sf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if sf.Shard != i {
+			return fmt.Errorf("%s holds shard %d but sits at position %d — pass files in shard order", path, sf.Shard, i)
+		}
+		if sf.Of != len(paths) {
+			return fmt.Errorf("%s is shard %d of %d, but %d files were given", path, sf.Shard, sf.Of, len(paths))
+		}
+		if i == 0 {
+			head = sf
+		} else if sf.Cluster != head.Cluster || sf.Devices != head.Devices || sf.Model != head.Model ||
+			sf.B != head.B || sf.MicroRows != head.MicroRows || sf.Prune != head.Prune {
+			return fmt.Errorf("%s describes a different sweep than %s", path, paths[0])
+		}
+		parts[i] = fromWire(sf.Candidates)
+		sims += sf.Sims
+	}
+	merged := core.MergeShards(parts...)
+
+	fmt.Fprintf(w, "merged %d shards on %s×%d (%s, B=%d, rows=%d): %d candidates, %d simulations total\n",
+		len(paths), head.Cluster, head.Devices, head.Model, head.B, head.MicroRows, len(merged), sims)
+	fmt.Fprintf(w, "%4s  %-14s %4s %4s %12s %9s\n", "rank", "scheme", "P", "D", "seq/s", "peak GB")
+	for i, c := range merged {
+		switch {
+		case c.Err != nil:
+			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12s %9s  (%v)\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D, "error", "-", c.Err)
+		case c.OOM:
+			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12s %9.1f\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D, "OOM", c.PeakGB)
+		default:
+			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12.2f %9.1f\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D, c.Throughput, c.PeakGB)
+		}
+	}
+	if best, ok := core.Best(merged); ok {
+		fmt.Fprintf(w, "winner: %s P=%d D=%d B=%d (%.2f seq/s, %.1f GB peak)\n",
+			best.Plan.Scheme, best.Plan.P, best.Plan.D, best.Plan.B, best.Throughput, best.PeakGB)
+	}
+	return nil
+}

@@ -25,6 +25,7 @@
 package hanayo
 
 import (
+	"repro/internal/cachewire"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -74,6 +75,41 @@ var NewTuner = core.NewTuner
 
 // Best picks the fastest feasible candidate.
 var Best = core.Best
+
+// Distributed sweep (cross-process sharding over a shared cache tier; see
+// docs/ARCHITECTURE.md and cmd/hanayo-tuned).
+type (
+	// RemoteCache is the cross-process get/put seam behind the Tuner
+	// (TunerOptions.Remote): entries keyed by a stable 64-bit hash of
+	// (cluster fingerprint × model × scheme × shape).
+	RemoteCache = cachewire.Cache
+	// RemoteEntry is the compact wire form of one cached evaluation.
+	RemoteEntry = cachewire.Entry
+	// CacheClient is a RemoteCache backed by a CacheServer over TCP.
+	CacheClient = cachewire.Client
+	// CacheServer serves the shared cache tier (cmd/hanayo-tuned -serve).
+	CacheServer = cachewire.Server
+	// LoopbackCache is the in-process RemoteCache for tests and
+	// single-process wiring; it still round-trips the wire codec.
+	LoopbackCache = cachewire.Loopback
+)
+
+// Distributed-sweep constructors and the shard/merge pair. A worker
+// process evaluates space.Shard(i, n) with AutoTuneShard (grid order,
+// unsorted); MergeShards over all n outputs is bit-for-bit the
+// single-process AutoTune ranking.
+var (
+	AutoTuneShard    = core.AutoTuneShard
+	MergeShards      = core.MergeShards
+	DialCache        = cachewire.Dial
+	NewCacheServer   = cachewire.NewServer
+	NewLoopbackCache = cachewire.NewLoopback
+)
+
+// SimRuns reports the process-wide count of discrete-event simulations
+// issued through plan evaluation — the observability hook behind every
+// "repeat sweeps cost zero simulations" guarantee.
+var SimRuns = core.SimRuns
 
 // Schedules (paper §3–§4.1).
 type (

@@ -1,0 +1,86 @@
+package cachewire
+
+import (
+	"sync"
+
+	"repro/internal/lru"
+)
+
+// store is a size-bounded LRU map of key → Entry shared by the Loopback
+// cache and the TCP Server. One mutex is enough here: remote round-trip
+// latency dominates any serving path that reaches it, and the in-process
+// Loopback sits behind the Tuner's own sharded cache, which absorbs the
+// hot repeats.
+type store struct {
+	mu sync.Mutex
+	m  *lru.Map[uint64, Entry]
+}
+
+func newStore(entries int) *store {
+	if entries <= 0 {
+		entries = 1 << 16
+	}
+	return &store{m: lru.New[uint64, Entry](entries)}
+}
+
+func (s *store) get(key uint64) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Get(key)
+}
+
+func (s *store) put(key uint64, e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Put(key, e)
+}
+
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Len()
+}
+
+// Loopback is the in-process Cache implementation: the same bounded LRU
+// store the TCP Server fronts, minus the network. It exists so tests and
+// single-process deployments can exercise the Tuner's remote-tier code
+// path — including entry encode/decode, which Loopback performs on every
+// Put AND every Get hit, so both halves of the wire codec are on the
+// path even without a socket.
+type Loopback struct {
+	s *store
+}
+
+// NewLoopback builds an in-process cache tier bounded to the given entry
+// count (0 → 65536).
+func NewLoopback(entries int) *Loopback {
+	return &Loopback{s: newStore(entries)}
+}
+
+// Get implements Cache, round-tripping the hit through the wire codec
+// exactly as a TCP client would decode it off the socket.
+func (l *Loopback) Get(key uint64) (Entry, bool, error) {
+	e, ok := l.s.get(key)
+	if !ok {
+		return Entry{}, false, nil
+	}
+	dec, err := DecodeEntry(AppendEntry(nil, e))
+	if err != nil {
+		return Entry{}, false, err
+	}
+	return dec, true, nil
+}
+
+// Put implements Cache. The entry is round-tripped through the wire codec
+// so the loopback tier faithfully stands in for the TCP one.
+func (l *Loopback) Put(key uint64, e Entry) error {
+	dec, err := DecodeEntry(AppendEntry(nil, e))
+	if err != nil {
+		return err
+	}
+	l.s.put(key, dec)
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (l *Loopback) Len() int { return l.s.len() }

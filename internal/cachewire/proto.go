@@ -1,0 +1,294 @@
+package cachewire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP protocol is as fixed-width as the entry codec. Every request is
+//
+//	op(1) key(8)            — opGet
+//	op(1) key(8) entry(18)  — opPut
+//
+// and every response is
+//
+//	status(1)               — statusMiss / statusOK
+//	status(1) entry(18)     — statusHit
+//
+// The framing is version-free; the entry payload carries the version
+// byte, and BOTH edges enforce it: the server rejects (and hangs up on)
+// puts it cannot decode, and the client rejects hits it cannot decode.
+// A version-skewed peer therefore never pollutes the store or a ranking —
+// its publishes are dropped and its probes miss, degrading a mixed
+// fleet's hit rate until it converges on one build.
+const (
+	opGet = 1
+	opPut = 2
+
+	statusMiss = 0
+	statusHit  = 1
+	statusOK   = 2
+)
+
+// Server serves the cache protocol over TCP, backed by a bounded LRU
+// store. Construct with NewServer, then Serve an accepted listener.
+type Server struct {
+	s *store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer builds a cache server bounded to the given entry count
+// (0 → 65536).
+func NewServer(entries int) *Server {
+	return &Server{s: newStore(entries), conns: map[net.Conn]struct{}{}}
+}
+
+// Len reports the number of stored entries.
+func (sv *Server) Len() int { return sv.s.len() }
+
+// Serve accepts connections on l until the listener is closed, handling
+// each connection's request stream in its own goroutine. A connection
+// that sends a malformed request is closed; the store is untouched.
+func (sv *Server) Serve(l net.Listener) error {
+	sv.mu.Lock()
+	if sv.closed {
+		// Close already ran (it can win the race against a freshly
+		// spawned Serve goroutine): the listener was never registered, so
+		// retire it here instead of parking in Accept forever.
+		sv.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	sv.ln = l
+	sv.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		sv.mu.Lock()
+		if sv.closed {
+			sv.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		sv.conns[conn] = struct{}{}
+		sv.mu.Unlock()
+		go sv.handle(conn)
+	}
+}
+
+// Close stops the listener and severs every live connection, so clients
+// see a genuinely dead tier (not a half-closed one) and degrade.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.closed = true
+	var err error
+	if sv.ln != nil {
+		err = sv.ln.Close()
+	}
+	for conn := range sv.conns {
+		conn.Close()
+	}
+	sv.conns = map[net.Conn]struct{}{}
+	return err
+}
+
+func (sv *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		sv.mu.Lock()
+		delete(sv.conns, conn)
+		sv.mu.Unlock()
+	}()
+	var hdr [9]byte // op + key
+	var entry [EntrySize]byte
+	var resp [1 + EntrySize]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // EOF between requests is the normal hang-up
+		}
+		key := binary.LittleEndian.Uint64(hdr[1:])
+		switch hdr[0] {
+		case opGet:
+			e, ok := sv.s.get(key)
+			if !ok {
+				resp[0] = statusMiss
+				if _, err := conn.Write(resp[:1]); err != nil {
+					return
+				}
+				continue
+			}
+			resp[0] = statusHit
+			if _, err := conn.Write(AppendEntry(resp[:1], e)); err != nil {
+				return
+			}
+		case opPut:
+			if _, err := io.ReadFull(conn, entry[:]); err != nil {
+				return
+			}
+			e, err := DecodeEntry(entry[:])
+			if err != nil {
+				return // version-skewed or corrupt publisher: drop the conn
+			}
+			sv.s.put(key, e)
+			resp[0] = statusOK
+			if _, err := conn.Write(resp[:1]); err != nil {
+				return
+			}
+		default:
+			return // unknown op: protocol desync, close
+		}
+	}
+}
+
+// Client is a Cache backed by a remote Server. It keeps a small free list
+// of connections so concurrent sweep workers don't serialize on one
+// socket; a connection that sees any I/O or protocol error is discarded
+// and the next request dials a fresh one, so a restarted server heals
+// transparently. Every dial and round trip carries a deadline — a
+// black-holed tier (partition, silent packet drop) surfaces as a counted
+// error within opTimeout instead of parking sweep workers on kernel TCP
+// retransmission timeouts, which is what keeps the Tuner's "remote errors
+// degrade, never stall" contract honest.
+type Client struct {
+	addr string
+	mu   sync.Mutex
+	free []net.Conn
+}
+
+// opTimeout bounds one dial or one request/response exchange. Requests
+// are a handful of bytes against an in-memory map, so seconds of budget
+// is pure safety margin, not a tuning knob.
+const opTimeout = 5 * time.Second
+
+// Dial validates addr by establishing (and pooling) one connection and
+// returns the client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cachewire: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, free: []net.Conn{conn}}, nil
+}
+
+func (c *Client) checkout() (net.Conn, error) {
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		conn := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.DialTimeout("tcp", c.addr, opTimeout)
+}
+
+func (c *Client) checkin(conn net.Conn) {
+	c.mu.Lock()
+	c.free = append(c.free, conn)
+	c.mu.Unlock()
+}
+
+// roundTrip writes req and reads want response bytes into resp on a
+// pooled connection. The connection returns to the pool only after a
+// fully clean exchange.
+func (c *Client) roundTrip(req []byte, resp []byte) error {
+	conn, err := c.checkout()
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(opTimeout))
+	if _, err := conn.Write(req); err != nil {
+		conn.Close()
+		return err
+	}
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		conn.Close()
+		return err
+	}
+	c.checkin(conn)
+	return nil
+}
+
+// Get implements Cache.
+func (c *Client) Get(key uint64) (Entry, bool, error) {
+	var req [9]byte
+	req[0] = opGet
+	binary.LittleEndian.PutUint64(req[1:], key)
+	// Read the status byte alone first: a miss response carries no entry.
+	conn, err := c.checkout()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	conn.SetDeadline(time.Now().Add(opTimeout))
+	if _, err := conn.Write(req[:]); err != nil {
+		conn.Close()
+		return Entry{}, false, err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		conn.Close()
+		return Entry{}, false, err
+	}
+	switch status[0] {
+	case statusMiss:
+		c.checkin(conn)
+		return Entry{}, false, nil
+	case statusHit:
+		var buf [EntrySize]byte
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			conn.Close()
+			return Entry{}, false, err
+		}
+		c.checkin(conn)
+		e, err := DecodeEntry(buf[:])
+		if err != nil {
+			return Entry{}, false, err
+		}
+		return e, true, nil
+	default:
+		conn.Close()
+		return Entry{}, false, fmt.Errorf("cachewire: unexpected get status %d", status[0])
+	}
+}
+
+// Put implements Cache.
+func (c *Client) Put(key uint64, e Entry) error {
+	req := make([]byte, 0, 9+EntrySize)
+	req = append(req, opPut)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	req = AppendEntry(req, e)
+	var status [1]byte
+	if err := c.roundTrip(req, status[:]); err != nil {
+		return err
+	}
+	if status[0] != statusOK {
+		return fmt.Errorf("cachewire: unexpected put status %d", status[0])
+	}
+	return nil
+}
+
+// Close drops every pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.free {
+		conn.Close()
+	}
+	c.free = nil
+	return nil
+}

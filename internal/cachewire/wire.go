@@ -1,0 +1,104 @@
+// Package cachewire is the cross-process tier of the tuning service's
+// evaluation cache: a versioned fixed-width binary codec for the compact
+// evaluation entries core.Tuner caches, the get/put Cache seam those
+// entries travel through, and three implementations of that seam — a
+// plain-TCP Client/Server pair for real multi-process deployments and an
+// in-process Loopback for tests and single-process wiring.
+//
+// The design leans on two properties PR 3 built deliberately: cached
+// evaluation results are tiny pointer-free value types (two float64
+// scalars and two booleans), and cache keys already reduce to a stable
+// 64-bit hash of (cluster fingerprint × model config × scheme × shape).
+// That makes the wire format trivial — an 8-byte key and an 18-byte
+// entry — and makes every implementation of Cache interchangeable behind
+// the Tuner's existing get/put seam: the Tuner consults its in-process
+// sharded cache first, then this tier, and publishes evaluations to both.
+//
+// The entry encoding is versioned (the first byte) and strictly sized:
+// Decode rejects version skew and any payload that is not exactly
+// EntrySize bytes, so a mixed-version fleet degrades to cache misses
+// instead of mis-ranking candidates.
+package cachewire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Version is the current wire-format version of an encoded Entry. It is
+// the first byte of every encoded entry; DecodeEntry rejects any other
+// value so version-skewed peers fall back to a cache miss rather than
+// reinterpreting bytes.
+const Version = 1
+
+// EntrySize is the exact encoded size of one Entry:
+// version(1) + flags(1) + perReplica(8) + maxGB(8).
+const EntrySize = 18
+
+// Entry is the wire form of one cached evaluation — the same compact,
+// pointer-free scalars core's tunerEntry holds: the D-invariant
+// per-replica throughput, the peak per-device footprint, the feasibility
+// verdict and the pruned marker.
+type Entry struct {
+	PerReplica float64 // sequences/s of one replica
+	MaxGB      float64 // peak per-device footprint
+	Fits       bool    // fits every device with the standard headroom
+	Pruned     bool    // OOM decided by the memtrace front end; no sim ran
+}
+
+// Flag bits of the encoded entry's second byte.
+const (
+	flagFits   = 1 << 0
+	flagPruned = 1 << 1
+)
+
+// AppendEntry appends the encoded form of e to dst and returns the
+// extended slice. The encoding is fixed-width little-endian; float
+// payloads are IEEE-754 bit patterns, so every value (including
+// infinities and NaN payloads) round-trips bit-for-bit.
+func AppendEntry(dst []byte, e Entry) []byte {
+	var flags byte
+	if e.Fits {
+		flags |= flagFits
+	}
+	if e.Pruned {
+		flags |= flagPruned
+	}
+	dst = append(dst, Version, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.PerReplica))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.MaxGB))
+	return dst
+}
+
+// DecodeEntry decodes one entry from b. It fails on truncated or
+// oversized payloads (b must be exactly EntrySize bytes) and on version
+// skew; both failure modes are how a cache tier shared by processes
+// running different builds degrades safely to misses.
+func DecodeEntry(b []byte) (Entry, error) {
+	if len(b) != EntrySize {
+		return Entry{}, fmt.Errorf("cachewire: entry is %d bytes, want %d", len(b), EntrySize)
+	}
+	if b[0] != Version {
+		return Entry{}, fmt.Errorf("cachewire: entry version %d, this build speaks %d", b[0], Version)
+	}
+	if b[1]&^(flagFits|flagPruned) != 0 {
+		return Entry{}, fmt.Errorf("cachewire: unknown flag bits %#x", b[1])
+	}
+	return Entry{
+		PerReplica: math.Float64frombits(binary.LittleEndian.Uint64(b[2:10])),
+		MaxGB:      math.Float64frombits(binary.LittleEndian.Uint64(b[10:18])),
+		Fits:       b[1]&flagFits != 0,
+		Pruned:     b[1]&flagPruned != 0,
+	}, nil
+}
+
+// Cache is the cross-process get/put seam behind core.Tuner: Get returns
+// the entry stored under a 64-bit evaluation-key hash (ok=false on a
+// miss), Put publishes one. Implementations must be safe for concurrent
+// use; the Tuner treats Get errors as misses and Put errors as dropped
+// publishes, so a flaky tier degrades the hit rate, never correctness.
+type Cache interface {
+	Get(key uint64) (e Entry, ok bool, err error)
+	Put(key uint64, e Entry) error
+}

@@ -402,6 +402,39 @@ type SearchSpace struct {
 	// pruning wins whenever OOM cells are common — large models pressing
 	// against device memory, exactly the regime the search targets.
 	Prune bool
+
+	// shardIndex/shardCount restrict a sweep to one deterministic slice of
+	// the candidate grid — set via Shard, evaluated via AutoTuneShard,
+	// recombined via MergeShards. shardCount <= 1 means the whole grid.
+	shardIndex, shardCount int
+}
+
+// Shard returns a copy of the space restricted to the i-th of n disjoint
+// slices of the candidate grid, for cross-process sweeps: n worker
+// processes each run AutoTuneShard over Shard(0..n-1, n) of the SAME
+// space against the SAME cluster and model, and MergeShards recombines
+// their outputs into exactly the single-process AutoTune ranking.
+//
+// The partition is deterministic and defaults-stable: the grid is laid
+// out exactly as AutoTune lays it out (after applying the same defaults
+// for nil Schemes/Waves/PD), divided into units — one unit per regular
+// (P, D)×scheme cell, plus one unit per (P, D) for the whole Hanayo
+// wave group, which must stay together because only its best wave
+// survives — and unit u belongs to shard u mod n. Shard(0, 1) is the
+// whole grid; any i outside [0, n) panics.
+func (s SearchSpace) Shard(i, n int) SearchSpace {
+	if i < 0 || i >= n {
+		// Checked before the n == 1 no-op: Shard(3, 1) is a mis-computed
+		// assignment that would otherwise silently sweep the full grid and
+		// duplicate candidates in a later merge.
+		panic(fmt.Sprintf("core: Shard(%d, %d): index out of range", i, n))
+	}
+	if n == 1 {
+		s.shardIndex, s.shardCount = 0, 0
+		return s
+	}
+	s.shardIndex, s.shardCount = i, n
+	return s
 }
 
 // DefaultSchemes returns the baseline set of §5.
@@ -466,7 +499,7 @@ func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*ev
 // under a Tuner) or measures it and publishes the compact entry for
 // future sweeps. own is the worker's private evaluator on standalone
 // sweeps and nil under a Tuner, where a pooled evaluator is checked out
-// only after both the cache and the in-flight table miss — cache hits,
+// only after both cache tiers and the in-flight table miss — cache hits,
 // flight followers and workers waiting on another builder's per-sweep
 // Once never pin a pool slot. clusterFP is the sweep-constant cluster
 // fingerprint (computed once per sweep, not per key).
@@ -479,7 +512,8 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 		return own.evalSchedule(s, plan, prune)
 	}
 	gk := keyFor(plan, prune, clusterFP)
-	if ent, ok := t.cache.get(gk); ok {
+	hk := gk.hash() // one digest routes both cache tiers and the wire
+	if ent, ok := t.cache.get(gk, hk); ok {
 		return ent.toShared(), nil
 	}
 	f, leader := t.join(gk)
@@ -494,6 +528,17 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 		return f.ent.toShared(), nil
 	}
 	defer t.land(gk, f)
+	// The leader probes the cross-process tier before paying for a
+	// simulation: a hit published by another worker process (a shard
+	// peer, or an earlier run) short-circuits exactly like a local hit
+	// and is copied into the local cache for the next lookup. Followers
+	// piggyback on this probe through the flight, so one sweep issues at
+	// most one remote get per key.
+	if ent, ok := t.remoteGet(hk); ok {
+		f.ent = ent
+		t.cache.put(gk, hk, ent)
+		return ent.toShared(), nil
+	}
 	s, err := plan.Schedule()
 	if err != nil {
 		f.err = err
@@ -507,7 +552,8 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 		return nil, err
 	}
 	f.ent = tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
-	t.cache.put(gk, f.ent)
+	t.cache.put(gk, hk, f.ent)
+	t.remotePut(hk, f.ent)
 	return es, nil
 }
 
@@ -527,6 +573,25 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 // the serving Tuner when evaluations should pull pooled evaluators and
 // consult the cross-sweep cache.
 func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []Candidate {
+	out := sweepGrid(cl, model, space, t)
+	sortCandidates(out)
+	return out
+}
+
+// sortCandidates is the one ranking comparator: throughput descending,
+// stable, so equal-throughput candidates keep grid order. MergeShards
+// must apply the identical sort for shard merges to be bit-for-bit
+// reproductions of the single-process ranking.
+func sortCandidates(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Throughput > cands[j].Throughput
+	})
+}
+
+// sweepGrid measures the (sharded slice of the) candidate grid and
+// returns its candidates in grid order — (P, D) major, schemes then the
+// wave-group winner within each — without the final ranking sort.
+func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []Candidate {
 	if space.Schemes == nil {
 		space.Schemes = DefaultSchemes()
 	}
@@ -555,11 +620,22 @@ func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []
 	// Lay out the candidate grid in deterministic order. waveGroup tags
 	// the Hanayo wave-sweep candidates of one (P, D) so only the best wave
 	// survives, mirroring §5.3 ("we searched for the best wave number under
-	// each parallelism configuration").
+	// each parallelism configuration"). Sharded sweeps assign grid units —
+	// each regular cell its own, the whole wave group of one (P, D) a
+	// single one, so its internal best-of reduction never splits — round-
+	// robin to shards and lay out only the owned units; MergeShards relies
+	// on exactly this unit order and assignment to stitch shards back
+	// together.
 	type task struct {
 		plan Plan
 		pd   int  // index into space.PD
 		wave bool // part of the per-(P,D) Hanayo wave sweep
+	}
+	unit := 0
+	claim := func() bool { // does this shard own the next grid unit?
+		own := space.shardCount <= 1 || unit%space.shardCount == space.shardIndex
+		unit++
+		return own
 	}
 	cache := newSweepCache()
 	var tasks []task
@@ -567,14 +643,19 @@ func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []
 		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
 			B: space.B, MicroRows: space.MicroRows, cache: cache}
 		for _, scheme := range space.Schemes {
+			if !claim() {
+				continue
+			}
 			plan := base
 			plan.Scheme = scheme
 			tasks = append(tasks, task{plan: plan, pd: pi})
 		}
-		for _, w := range space.Waves {
-			plan := base
-			plan.Scheme = fmt.Sprintf("hanayo-w%d", w)
-			tasks = append(tasks, task{plan: plan, pd: pi, wave: true})
+		if len(space.Waves) > 0 && claim() {
+			for _, w := range space.Waves {
+				plan := base
+				plan.Scheme = fmt.Sprintf("hanayo-w%d", w)
+				tasks = append(tasks, task{plan: plan, pd: pi, wave: true})
+			}
 		}
 	}
 
@@ -635,11 +716,53 @@ func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []
 		}
 	}
 
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].Throughput > out[j].Throughput
-	})
 	return out
 }
+
+// AutoTuneShard evaluates one shard's slice of the candidate grid —
+// space must come from SearchSpace.Shard — and returns its candidates in
+// grid order, unsorted: the form MergeShards stitches back together.
+// Evaluation is identical to AutoTune's (same caches, same pruning, same
+// worker pool), only the grid is restricted, so merging every shard of a
+// partition reproduces the single-process ranking bit for bit.
+func AutoTuneShard(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
+	return sweepGrid(cl, model, space, nil)
+}
+
+// MergeShards recombines the grid-order outputs of AutoTuneShard into
+// the full AutoTune ranking. parts[i] must be the output of shard i of a
+// len(parts)-way partition of one space (the same cluster, model and
+// space on every worker). Because every grid unit yields exactly one
+// candidate and unit u belongs to shard u mod n, interleaving the parts
+// in unit order reconstructs the exact grid-order candidate list of the
+// single-process sweep; applying the identical stable sort then yields a
+// bit-for-bit identical ranking — including the tie order, which the
+// stable sort resolves by grid position.
+func MergeShards(parts ...[]Candidate) []Candidate {
+	n := len(parts)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Candidate, 0, total)
+	next := make([]int, n)
+	for u := 0; len(out) < total; u++ {
+		if s := u % n; next[s] < len(parts[s]) {
+			out = append(out, parts[s][next[s]])
+			next[s]++
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+// SimRuns reports the process-wide count of discrete-event simulations
+// issued through plan evaluation. It is the observability hook behind the
+// cache-effectiveness guarantees: a repeated sweep against a warm Tuner —
+// or a sweep whose keys were all published to the remote tier by earlier
+// processes — must not advance it at all. Tests and cmd/hanayo-tuned
+// report deltas of this counter.
+func SimRuns() int64 { return simRuns.Load() }
 
 // candidateFrom scales one key's shared evaluation to a candidate plan.
 // The sweep cache is dropped from the returned candidate so holding one

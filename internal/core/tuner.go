@@ -6,17 +6,23 @@
 // (cluster fingerprint, model config, scheme, P, B, MicroRows), so
 // repeated and overlapping sweeps — calibration loops, wave sweeps, many
 // users tuning similar models — hit cached evaluations instead of
-// re-simulating. This is the serving layer the ROADMAP's "many concurrent
-// sweeps" scale item calls for, kept in-process; cross-process sharding of
-// the candidate grid is the follow-up step.
+// re-simulating. An optional third tier (TunerOptions.Remote) extends the
+// same get/put seam across processes: on a local miss the Tuner probes a
+// shared cachewire tier under the stable 64-bit key hash and publishes
+// every fresh evaluation back, so a fleet of sharded workers (see
+// SearchSpace.Shard and cmd/hanayo-tuned) fills one cache that any later
+// process sweeps from without re-simulating.
 package core
 
 import (
-	"container/list"
+	"hash/fnv"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cachewire"
 	"repro/internal/cluster"
+	"repro/internal/lru"
 	"repro/internal/nn"
 )
 
@@ -30,14 +36,24 @@ type TunerOptions struct {
 	// across shards, evicted LRU per shard). 0 → 4096; negative disables
 	// caching, leaving only arena reuse.
 	CacheEntries int
+	// Remote plugs a cross-process cache tier behind the same get/put seam
+	// as the in-process cache: on a local miss the Tuner probes it under
+	// tunerKey.hash() and publishes fresh evaluations back. Typically a
+	// cachewire.Client dialed at a cachewire.Server; cachewire.NewLoopback
+	// wires the tier in-process for tests. Nil keeps the service
+	// single-process. Remote errors never fail a sweep — a Get error is a
+	// miss, a Put error a dropped publish (counted by RemoteErrors).
+	Remote cachewire.Cache
 }
 
 // Tuner serves AutoTune sweeps over a bounded evaluator pool with a
 // cross-sweep evaluation cache. Safe for concurrent use; construct once
 // and share.
 type Tuner struct {
-	pool  chan *evaluator
-	cache *tunerCache
+	pool   chan *evaluator
+	cache  *tunerCache
+	remote cachewire.Cache // nil → single-process
+	rerrs  atomic.Int64    // remote get/put failures (degraded, not fatal)
 
 	// flights deduplicates in-flight evaluations across concurrent
 	// sweeps: the first cache miss on a key leads the computation, later
@@ -62,7 +78,7 @@ func NewTuner(opt TunerOptions) *Tuner {
 	if n <= 0 {
 		n = goruntime.NumCPU()
 	}
-	t := &Tuner{pool: make(chan *evaluator, n), flights: map[tunerKey]*flight{}}
+	t := &Tuner{pool: make(chan *evaluator, n), remote: opt.Remote, flights: map[tunerKey]*flight{}}
 	for i := 0; i < n; i++ {
 		t.pool <- newEvaluator()
 	}
@@ -109,6 +125,15 @@ func (t *Tuner) AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace
 	return sweep(cl, model, space, t)
 }
 
+// AutoTuneShard is AutoTuneShard served through the Tuner: the shard's
+// grid-order slice, with evaluations pulled through the cache tiers and
+// the bounded pool. This is what a cmd/hanayo-tuned worker runs — each
+// shard process publishes its evaluations to the shared remote tier, so
+// the fleet collectively fills a cache any later sweep hits outright.
+func (t *Tuner) AutoTuneShard(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
+	return sweepGrid(cl, model, space, t)
+}
+
 // checkout blocks until a pooled evaluator is free — the admission control
 // that keeps total simulation concurrency bounded however many sweeps are
 // in flight.
@@ -122,6 +147,41 @@ func (t *Tuner) CacheLen() int {
 		return 0
 	}
 	return t.cache.len()
+}
+
+// RemoteErrors reports how many remote-tier operations have failed since
+// construction. The remote tier is best-effort — failures degrade the hit
+// rate, never a sweep — so this counter is the operational signal that
+// the tier is unhealthy.
+func (t *Tuner) RemoteErrors() int64 { return t.rerrs.Load() }
+
+// remoteGet probes the cross-process tier under the key hash; any error
+// counts as a miss.
+func (t *Tuner) remoteGet(h uint64) (tunerEntry, bool) {
+	if t.remote == nil {
+		return tunerEntry{}, false
+	}
+	we, ok, err := t.remote.Get(h)
+	if err != nil {
+		t.rerrs.Add(1)
+		return tunerEntry{}, false
+	}
+	if !ok {
+		return tunerEntry{}, false
+	}
+	return tunerEntry{perReplica: we.PerReplica, maxGB: we.MaxGB, fits: we.Fits, pruned: we.Pruned}, true
+}
+
+// remotePut publishes a fresh evaluation to the cross-process tier,
+// best-effort.
+func (t *Tuner) remotePut(h uint64, e tunerEntry) {
+	if t.remote == nil {
+		return
+	}
+	we := cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB, Fits: e.fits, Pruned: e.pruned}
+	if err := t.remote.Put(h, we); err != nil {
+		t.rerrs.Add(1)
+	}
 }
 
 // tunerKey identifies one cached evaluation. The cluster contributes a
@@ -154,6 +214,51 @@ func keyFor(plan Plan, prune bool, clusterFP uint64) tunerKey {
 	}
 }
 
+// hash reduces the key to a stable 64-bit FNV-1a digest: the cluster
+// fingerprint (itself a content hash), every model-config field, the
+// scheme, the (P, B, MicroRows) shape and the prune flag, with strings
+// length-prefixed exactly as cluster.Fingerprint does. It is the wire key
+// of the cross-process cache tier — stable across processes, builds and
+// architectures — and the shard selector of the in-process cache, so both
+// tiers spread one key the same way. (Two distinct keys colliding in 64
+// bits would alias their cached entries; at ~2⁻⁶⁴ per pair that is far
+// below any failure rate the rest of the service can see.)
+func (k tunerKey) hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	b := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	u64(k.cluster)
+	str(k.model.Name)
+	u64(uint64(int64(k.model.Layers)))
+	u64(uint64(int64(k.model.Hidden)))
+	u64(uint64(int64(k.model.Heads)))
+	u64(uint64(int64(k.model.Vocab)))
+	u64(uint64(int64(k.model.SeqLen)))
+	b(k.model.Causal)
+	str(k.scheme)
+	u64(uint64(int64(k.p)))
+	u64(uint64(int64(k.b)))
+	u64(uint64(int64(k.rows)))
+	b(k.prune)
+	return h.Sum64()
+}
+
 // tunerEntry is the compact, D-invariant result of one evaluation — plain
 // scalars only, deliberately free of sim/memtrace pointers so cached
 // entries never retain runner-owned arenas and are safe to share across
@@ -182,91 +287,55 @@ type tunerCache struct {
 }
 
 type tunerShard struct {
-	mu  sync.Mutex
-	cap int
-	m   map[tunerKey]*list.Element
-	lru list.List // front = most recent; values are *tunerItem
-}
-
-type tunerItem struct {
-	key tunerKey
-	ent tunerEntry
+	mu sync.Mutex
+	m  *lru.Map[tunerKey, tunerEntry]
 }
 
 func newTunerCache(entries int) *tunerCache {
 	// Distribute the total bound exactly: the first entries%tunerShards
 	// shards hold one extra entry, and small bounds leave some shards at
-	// capacity zero (put drops the entry) rather than silently inflating
-	// the configured total to one per shard.
+	// capacity zero (lru.Map drops every put) rather than silently
+	// inflating the configured total to one per shard.
 	per, rem := entries/tunerShards, entries%tunerShards
 	c := &tunerCache{}
 	for i := range c.shards {
-		c.shards[i].cap = per
+		cap := per
 		if i < rem {
-			c.shards[i].cap++
+			cap++
 		}
-		c.shards[i].m = make(map[tunerKey]*list.Element)
+		c.shards[i].m = lru.New[tunerKey, tunerEntry](cap)
 	}
 	return c
 }
 
-// shardOf mixes the key's cheap discriminants; the cluster fingerprint is
-// already a high-quality 64-bit hash, so folding in the shape bits is
-// enough to spread schemes of one cluster across shards.
-func (c *tunerCache) shardOf(k tunerKey) *tunerShard {
-	h := k.cluster
-	h ^= uint64(k.p) * 0x9e3779b97f4a7c15
-	h ^= uint64(k.b) * 0xbf58476d1ce4e5b9
-	h ^= uint64(k.rows) * 0x94d049bb133111eb
-	for _, ch := range k.scheme {
-		h = h*131 + uint64(ch)
-	}
-	return &c.shards[h%tunerShards]
-}
-
-func (c *tunerCache) get(k tunerKey) (tunerEntry, bool) {
+// get/put route by the key's stable 64-bit hash — the same digest the
+// cross-process tier uses as its wire key, so one hash (computed once per
+// lookup by the caller) routes an evaluation through both cache tiers.
+func (c *tunerCache) get(k tunerKey, h uint64) (tunerEntry, bool) {
 	if c == nil { // caching disabled: every lookup misses
 		return tunerEntry{}, false
 	}
-	s := c.shardOf(k)
+	s := &c.shards[h%tunerShards]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.m[k]
-	if !ok {
-		return tunerEntry{}, false
-	}
-	s.lru.MoveToFront(el)
-	return el.Value.(*tunerItem).ent, true
+	return s.m.Get(k)
 }
 
-func (c *tunerCache) put(k tunerKey, e tunerEntry) {
+func (c *tunerCache) put(k tunerKey, h uint64, e tunerEntry) {
 	if c == nil { // caching disabled: drop the entry
 		return
 	}
-	s := c.shardOf(k)
-	if s.cap == 0 { // a tight total bound left this shard with no budget
-		return
-	}
+	s := &c.shards[h%tunerShards]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.m[k]; ok {
-		el.Value.(*tunerItem).ent = e
-		s.lru.MoveToFront(el)
-		return
-	}
-	if s.lru.Len() >= s.cap {
-		oldest := s.lru.Back()
-		s.lru.Remove(oldest)
-		delete(s.m, oldest.Value.(*tunerItem).key)
-	}
-	s.m[k] = s.lru.PushFront(&tunerItem{key: k, ent: e})
+	s.m.Put(k, e)
 }
 
 func (c *tunerCache) len() int {
 	n := 0
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
-		n += len(c.shards[i].m)
+		n += c.shards[i].m.Len()
 		c.shards[i].mu.Unlock()
 	}
 	return n

@@ -1,0 +1,65 @@
+// Package lru is the one bounded most-recently-used map behind every
+// cache tier in the repo: the Tuner's in-process cache shards
+// (internal/core) and the cachewire store serving the cross-process tier.
+// Semantics shared by both: Get marks an entry most recent, Put updates
+// in place or inserts and evicts the least recently used entry at the
+// bound, and a bound of zero holds nothing (how a tight total budget
+// distributed across shards leaves some shards with none, rather than
+// silently inflating the configured total). A Map is NOT safe for
+// concurrent use — callers own locking at whatever granularity they
+// shard.
+package lru
+
+import "container/list"
+
+// Map is a bounded LRU map. The zero value is unusable; construct with
+// New.
+type Map[K comparable, V any] struct {
+	cap int
+	m   map[K]*list.Element
+	l   list.List // front = most recent; values are *item[K, V]
+}
+
+type item[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a map bounded to cap entries; cap <= 0 drops every Put.
+func New[K comparable, V any](cap int) *Map[K, V] {
+	return &Map[K, V]{cap: cap, m: make(map[K]*list.Element)}
+}
+
+// Get returns the value stored under k, marking it most recently used.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	el, ok := m.m[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	m.l.MoveToFront(el)
+	return el.Value.(*item[K, V]).val, true
+}
+
+// Put stores v under k — updating in place when present, otherwise
+// inserting and evicting the least recently used entry when full. Either
+// way k becomes most recent.
+func (m *Map[K, V]) Put(k K, v V) {
+	if m.cap <= 0 {
+		return
+	}
+	if el, ok := m.m[k]; ok {
+		el.Value.(*item[K, V]).val = v
+		m.l.MoveToFront(el)
+		return
+	}
+	if m.l.Len() >= m.cap {
+		oldest := m.l.Back()
+		m.l.Remove(oldest)
+		delete(m.m, oldest.Value.(*item[K, V]).key)
+	}
+	m.m[k] = m.l.PushFront(&item[K, V]{key: k, val: v})
+}
+
+// Len reports the number of live entries.
+func (m *Map[K, V]) Len() int { return len(m.m) }

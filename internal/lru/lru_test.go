@@ -1,0 +1,55 @@
+package lru
+
+import "testing"
+
+func TestPutGetUpdateEvict(t *testing.T) {
+	m := New[string, int](2)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	m.Put("a", 10) // update in place, still 2 entries
+	if m.Len() != 2 {
+		t.Fatalf("len %d after update, want 2", m.Len())
+	}
+	// "b" is now least recent ("a" was touched twice): inserting "c"
+	// evicts it.
+	m.Put("c", 3)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("least-recent entry survived the bound")
+	}
+	if v, _ := m.Get("a"); v != 10 {
+		t.Fatalf("a = %d after update, want 10", v)
+	}
+	if v, _ := m.Get("c"); v != 3 {
+		t.Fatalf("c = %d, want 3", v)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	m := New[int, int](2)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Get(1)    // 2 becomes least recent
+	m.Put(3, 3) // evicts 2
+	if _, ok := m.Get(2); ok {
+		t.Fatal("Get did not refresh recency")
+	}
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+}
+
+func TestZeroCapDropsEverything(t *testing.T) {
+	for _, cap := range []int{0, -3} {
+		m := New[int, int](cap)
+		m.Put(1, 1)
+		if m.Len() != 0 {
+			t.Fatalf("cap %d held %d entries", cap, m.Len())
+		}
+	}
+}
