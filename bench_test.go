@@ -76,17 +76,39 @@ func BenchmarkFig12StrongScaling(b *testing.B) { runExperiment(b, "fig12") }
 // --------------------------------------------------------------- engines --
 
 // BenchmarkScheduleGeneration measures the unified framework's cost to
-// produce and validate a large wave schedule (32 devices, 4 waves).
+// produce and validate a large wave schedule (32 devices, 4 waves). The
+// workload is unchanged from earlier PRs — one validated schedule per op —
+// but validation is now fused into generation, so no separate
+// sched.Validate pass runs.
 func BenchmarkScheduleGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := sched.Hanayo(32, 4, 32)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := sched.Validate(s); err != nil {
+		if _, err := sched.Hanayo(32, 4, 32); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGeneratorReuse is the steady-state allocation headline of the
+// schedule compiler: the same validated schedule compiled repeatedly
+// through one sched.Generator must report exactly 0 allocs/op (the
+// one-shot constructors pay a fresh compiler's arena growth every call;
+// the Generator pays it once, at warmup, outside the timed loop). CI pins
+// this number alongside BenchmarkRunnerReuse.
+func BenchmarkGeneratorReuse(b *testing.B) {
+	g := sched.NewGenerator()
+	s, err := g.Generate("hanayo-w4", 32, 32) // warm the arenas
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate("hanayo-w4", 32, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.NumActions()), "ops/schedule")
 }
 
 // BenchmarkSimulator measures the discrete-event executor on a 32-device

@@ -95,15 +95,51 @@ func writeBenchJSON(path string) error {
 	}
 	add := func(r benchResult) { out.Benchmarks = append(out.Benchmarks, r) }
 
+	// One validated schedule per op, as every earlier BENCH recorded it —
+	// validation is now fused into generation, so the one-shot constructor
+	// alone is the equivalent workload.
 	add(measure("schedule_generation_p32w4b32", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s, err := sched.Hanayo(32, 4, 32)
-			if err != nil {
+			if _, err := sched.Hanayo(32, 4, 32); err != nil {
 				b.Fatal(err)
 			}
-			if err := sched.Validate(s); err != nil {
+		}
+	}))
+	// The same compilation through one reused Generator: the sweep/service
+	// steady state, 0 allocs/op once the arenas are warm.
+	add(measure("generator_reuse_p32w4b32", func(b *testing.B) {
+		g := sched.NewGenerator()
+		if _, err := g.Generate("hanayo-w4", 32, 32); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Generate("hanayo-w4", 32, 32); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}))
+	// A sweep-shaped mix: every scheme family across several (P, B) shapes
+	// through one Generator — the per-worker generation pattern of an
+	// AutoTune sweep (shape caches hot, arenas re-grown across shapes).
+	add(measure("generator_sweep_mixed", func(b *testing.B) {
+		g := sched.NewGenerator()
+		schemes := []string{"gpipe", "dapple", "chimera", "chimera-wave",
+			"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems"}
+		shapes := [][2]int{{8, 16}, {16, 16}, {32, 32}}
+		run := func() {
+			for _, scheme := range schemes {
+				for _, shape := range shapes {
+					if _, err := g.Generate(scheme, shape[0], shape[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		run() // warm every shape entry
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
 		}
 	}))
 	add(measure("sim_run_oneshot_p8w2b16", func(b *testing.B) {

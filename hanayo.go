@@ -171,6 +171,12 @@ type (
 	// MemReplayer is the reusable memory-replay handle, with a budgeted
 	// early-exit mode (RunBudget) for OOM feasibility checks.
 	MemReplayer = memtrace.Replayer
+	// ScheduleGenerator is the reusable schedule compiler: it owns the
+	// greedy scheduler's arenas, per-shape mapping/cap caches and the
+	// dense validation state, generating validated schedules at 0 allocs
+	// in steady state. Not safe for concurrent use; its Schedule is valid
+	// until the next Generate.
+	ScheduleGenerator = sched.Generator
 	// ExecLoop is the reusable interpreter driver behind both handles —
 	// the extension point for allocation-free custom executors.
 	ExecLoop = exec.Loop
@@ -178,8 +184,9 @@ type (
 
 // Reusable-executor constructors (zero values also work).
 var (
-	NewSimRunner   = sim.NewRunner
-	NewMemReplayer = memtrace.NewReplayer
+	NewSimRunner         = sim.NewRunner
+	NewMemReplayer       = memtrace.NewReplayer
+	NewScheduleGenerator = sched.NewGenerator
 )
 
 // RunMemTrace replays a schedule against the memory model only (the

@@ -95,7 +95,11 @@ func newSweepCache() *sweepCache {
 	return &sweepCache{sched: map[schedKey]*schedEntry{}, eval: map[schedKey]*evalEntry{}}
 }
 
-func (c *sweepCache) get(scheme string, p, b int) (*sched.Schedule, error) {
+// get memoizes one schedule per key; g is the calling worker's reusable
+// Generator (nil on generator-less paths) — whichever caller wins the
+// per-key Once builds with its own Generator, so concurrent workers never
+// share one.
+func (c *sweepCache) get(g *sched.Generator, scheme string, p, b int) (*sched.Schedule, error) {
 	k := schedKey{scheme, p, b}
 	c.mu.Lock()
 	e, ok := c.sched[k]
@@ -104,7 +108,7 @@ func (c *sweepCache) get(scheme string, p, b int) (*sched.Schedule, error) {
 		c.sched[k] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.s, e.err = buildSchedule(scheme, p, b) })
+	e.once.Do(func() { e.s, e.err = buildSchedule(g, scheme, p, b) })
 	return e.s, e.err
 }
 
@@ -122,16 +126,22 @@ func (c *sweepCache) evalFor(k schedKey, build func() (*evalShared, error)) (*ev
 	return e.e, e.err
 }
 
-// buildSchedule generates and validates one schedule.
-func buildSchedule(scheme string, p, b int) (*sched.Schedule, error) {
-	s, err := sched.ByName(scheme, p, b)
+// buildSchedule generates one validated schedule. Generation fuses
+// validation (sched.Generate/ByName output arrives proven executable), so
+// no separate sched.Validate pass runs. A non-nil g reuses the worker's
+// Generator arenas; its owned result is detached with Clone so retaining
+// it (the sweep cache, callers of Plan.Schedule) survives the Generator's
+// next run. g == nil drives a fresh single-use Generator via ByName, whose
+// output needs no copy.
+func buildSchedule(g *sched.Generator, scheme string, p, b int) (*sched.Schedule, error) {
+	if g == nil {
+		return sched.ByName(scheme, p, b)
+	}
+	s, err := g.Generate(scheme, p, b)
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.Validate(s); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return s.Clone(), nil
 }
 
 // Validate checks structural consistency against the cluster.
@@ -151,13 +161,20 @@ func (p Plan) Validate() error {
 // Schedule generates and validates the action lists for one replica
 // (memoized when the plan carries an AutoTune sweep cache).
 func (p Plan) Schedule() (*sched.Schedule, error) {
+	return p.scheduleWith(nil)
+}
+
+// scheduleWith is Schedule with an optional per-worker Generator: the
+// sweep stack passes its evaluator's Generator so steady-state generation
+// reuses warmed arenas instead of allocating a compiler per schedule.
+func (p Plan) scheduleWith(g *sched.Generator) (*sched.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.cache != nil {
-		return p.cache.get(p.Scheme, p.P, p.B)
+		return p.cache.get(g, p.Scheme, p.P, p.B)
 	}
-	return buildSchedule(p.Scheme, p.P, p.B)
+	return buildSchedule(g, p.Scheme, p.P, p.B)
 }
 
 // Simulate runs the discrete-event executor with the cluster cost model and
@@ -441,19 +458,21 @@ func (s SearchSpace) Shard(i, n int) SearchSpace {
 func DefaultSchemes() []string { return []string{"gpipe", "dapple", "chimera-wave"} }
 
 // evaluator bundles the reusable executors one sweep worker drives: a
-// sim.Runner for timed evaluation, a memtrace.Replayer for the OOM front
-// end, and the budget scratch both share. Reused across every key a worker
-// measures — and, inside a Tuner, across sweeps — so the steady-state
-// evaluation pipeline allocates only per-key outputs (estimates), never
-// per-run executor state.
+// sched.Generator for schedule compilation, a sim.Runner for timed
+// evaluation, a memtrace.Replayer for the OOM front end, and the budget
+// scratch they share. Reused across every key a worker measures — and,
+// inside a Tuner, across sweeps — so the steady-state evaluation pipeline
+// allocates only per-key outputs (retained schedules, estimates), never
+// per-run generator or executor state.
 type evaluator struct {
+	gen    *sched.Generator
 	runner *sim.Runner
 	replay *memtrace.Replayer
 	budget []float64 // per-device activation-byte budgets (scratch)
 }
 
 func newEvaluator() *evaluator {
-	return &evaluator{runner: sim.NewRunner(), replay: memtrace.NewReplayer()}
+	return &evaluator{gen: sched.NewGenerator(), runner: sim.NewRunner(), replay: memtrace.NewReplayer()}
 }
 
 // evalSchedule measures one (scheme, P, B) key on this evaluator's
@@ -505,7 +524,7 @@ func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*ev
 // fingerprint (computed once per sweep, not per key).
 func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) (*evalShared, error) {
 	if t == nil {
-		s, err := plan.Schedule()
+		s, err := plan.scheduleWith(own.gen)
 		if err != nil {
 			return nil, err
 		}
@@ -539,13 +558,16 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 		t.cache.put(gk, hk, ent)
 		return ent.toShared(), nil
 	}
-	s, err := plan.Schedule()
+	// Generation happens on the pooled evaluator's Generator, so the
+	// checkout now covers the whole measurement (compile + replay + sim) —
+	// schedule compilation is real work the admission control should bound.
+	ev := t.checkout()
+	defer t.checkin(ev)
+	s, err := plan.scheduleWith(ev.gen)
 	if err != nil {
 		f.err = err
 		return nil, err
 	}
-	ev := t.checkout()
-	defer t.checkin(ev)
 	es, err := ev.evalSchedule(s, plan, prune)
 	if err != nil {
 		f.err = err

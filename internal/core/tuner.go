@@ -1,7 +1,8 @@
 // The tuning service: AutoTune packaged for steady-state serving. One
 // process-wide Tuner owns (1) a bounded pool of reusable evaluators —
-// sim.Runner + memtrace.Replayer pairs whose arenas stay warm across
-// requests, so the per-candidate hot path allocates nothing — and (2) a
+// sched.Generator + sim.Runner + memtrace.Replayer triples whose arenas
+// stay warm across requests, so the per-candidate hot path (schedule
+// compilation included) allocates nothing — and (2) a
 // sharded, size-bounded cross-sweep cache of evaluation results keyed by
 // (cluster fingerprint, model config, scheme, P, B, MicroRows), so
 // repeated and overlapping sweeps — calibration loops, wave sweeps, many

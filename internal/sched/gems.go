@@ -1,7 +1,5 @@
 package sched
 
-import "fmt"
-
 // GEMS generates the GEMS-style schedule (Jain et al.), the remaining
 // baseline of the paper's Fig 1: two model replicas in opposite directions
 // like Chimera, but with at most one micro-batch active per direction —
@@ -9,18 +7,5 @@ import "fmt"
 // is a very high bubble ratio (Fig 1's tallest bars) with low activation
 // memory, which is exactly the trade GEMS makes.
 func GEMS(p, b int, opts ...Option) (*Schedule, error) {
-	if b%2 != 0 {
-		return nil, fmt.Errorf("sched: GEMS needs an even micro-batch count, got %d", b)
-	}
-	pipeOf := func(m int) int { return m % 2 }
-	gp := defaults(b, ChimeraMapping(p, pipeOf))
-	gp.Priority = BackwardFirst
-	// One active micro-batch per (stage, direction): forwards of the next
-	// micro wait for the previous one's backward to drain.
-	gp.InflightCap = func(s, chunk int) int { return 1 }
-	sc, err := build("gems", 0, gp, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return sc, nil
+	return NewGenerator().generate(famGEMS, 0, p, b, opts...)
 }

@@ -1,72 +1,5 @@
 package sched
 
-import "fmt"
-
-// insertComm expands per-device compute orders into full action lists by
-// inserting point-to-point transfers on every stage boundary that crosses
-// devices. Sends are placed immediately after the producing compute op and
-// receives immediately before the consuming one; the executors treat
-// consecutive comm ops as one batched isend/irecv group (§4.2), which is
-// what makes the bidirectional exchanges of wave pipelines deadlock-free.
-func insertComm(m *Mapping, b int, order [][]Action) [][]Action {
-	lists := make([][]Action, len(order))
-	for d, ops := range order {
-		list := make([]Action, 0, 2*len(ops))
-		for _, a := range ops {
-			// Receives needed before this compute op.
-			switch a.Kind {
-			case OpForward:
-				if a.Stage > 0 {
-					src := m.Device(a.Micro, a.Stage-1)
-					if src != d {
-						list = append(list, Action{Kind: OpRecvAct, Micro: a.Micro, Stage: a.Stage, Peer: src})
-					}
-				}
-			case OpBackward:
-				if a.Stage < m.S-1 {
-					src := m.Device(a.Micro, a.Stage+1)
-					if src != d {
-						list = append(list, Action{Kind: OpRecvGrad, Micro: a.Micro, Stage: a.Stage, Peer: src})
-					}
-				}
-			}
-			list = append(list, a)
-			// Sends produced by this compute op.
-			switch a.Kind {
-			case OpForward:
-				if a.Stage+1 < m.S {
-					dst := m.Device(a.Micro, a.Stage+1)
-					if dst != d {
-						list = append(list, Action{Kind: OpSendAct, Micro: a.Micro, Stage: a.Stage + 1, Peer: dst})
-					}
-				}
-			case OpBackward:
-				if a.Stage > 0 {
-					dst := m.Device(a.Micro, a.Stage-1)
-					if dst != d {
-						list = append(list, Action{Kind: OpSendGrad, Micro: a.Micro, Stage: a.Stage - 1, Peer: dst})
-					}
-				}
-			}
-		}
-		// Synchronous flush: gradient all-reduce then optimizer step.
-		list = append(list,
-			Action{Kind: OpAllReduce, Micro: -1, Stage: -1, Peer: -1},
-			Action{Kind: OpOptimStep, Micro: -1, Stage: -1, Peer: -1})
-		lists[d] = list
-	}
-	_ = b
-	return lists
-}
-
-// hoistSends moves each send earlier so that it directly follows the
-// compute op producing its payload even when receives were interleaved —
-// this maximizes communication/computation overlap (the prefetching
-// counterpart on the send side). insertComm already emits sends right after
-// their producer, so this is a no-op today; it exists as the documented
-// extension point for send-side reordering ablations.
-func hoistSends(lists [][]Action) [][]Action { return lists }
-
 // Option tweaks schedule generation.
 type Option func(*GenParams)
 
@@ -75,50 +8,29 @@ func WithCosts(tf, tb, tc float64) Option {
 	return func(p *GenParams) { p.Tf, p.Tb, p.Tc = tf, tb, tc }
 }
 
-func defaults(b int, m *Mapping) GenParams {
-	return GenParams{B: b, Mapping: m, Tf: 1, Tb: 2, Tc: 0.05}
-}
+// The one-shot scheme constructors below each drive a fresh single-use
+// Generator, so their schedules share no storage with any reusable state
+// and may be retained freely — the exact analogue of sim.Run delegating to
+// a fresh sim.Runner. Sweeps and services that generate repeatedly should
+// hold a Generator instead and pay zero steady-state allocations.
 
 // GPipe generates the classic schedule: straight placement, all forwards
 // then all backwards per device, unbounded live activations (paper Fig 3a).
 func GPipe(p, b int, opts ...Option) (*Schedule, error) {
-	gp := defaults(b, StraightMapping(p))
-	gp.Priority = ForwardFirst
-	gp.PhaseBarrier = true
-	return build("gpipe", 0, gp, opts...)
+	return NewGenerator().generate(famGPipe, 0, p, b, opts...)
 }
 
 // DAPPLE generates the 1F1B schedule: straight placement, eager backwards,
 // live activations capped at P−s per stage (paper Fig 3b).
 func DAPPLE(p, b int, opts ...Option) (*Schedule, error) {
-	gp := defaults(b, StraightMapping(p))
-	gp.Priority = BackwardFirst
-	gp.InflightCap = func(s, _ int) int { return p - s }
-	return build("dapple", 0, gp, opts...)
+	return NewGenerator().generate(famDAPPLE, 0, p, b, opts...)
 }
 
 // Chimera generates the bidirectional schedule with two weight replicas:
 // micro-batches with even index run down, odd run up, so both halves
 // progress symmetrically and fill each other's bubbles (paper Fig 3c).
 func Chimera(p, b int, opts ...Option) (*Schedule, error) {
-	if b%2 != 0 {
-		return nil, fmt.Errorf("sched: Chimera needs an even micro-batch count, got %d", b)
-	}
-	pipeOf := func(m int) int { return m % 2 }
-	gp := defaults(b, ChimeraMapping(p, pipeOf))
-	gp.Priority = BackwardFirst
-	// Live-activation budget per direction: a stage at depth d needs
-	// ceil((P−d)/2) in steady state (each device serves two chunks) and
-	// at most the per-pipe micro count during fill; the device total is
-	// the P/2 + 1 of the paper's Fig 2 when B = P.
-	gp.InflightCap = func(s, chunk int) int {
-		depth := s
-		if chunk == 1 {
-			depth = p - 1 - s
-		}
-		return max((p+1)/2, (p-depth+1)/2)
-	}
-	return build("chimera", 0, gp, opts...)
+	return NewGenerator().generate(famChimera, 0, p, b, opts...)
 }
 
 // Hanayo generates the wave-like schedule with w waves: S = 2·w·P stages,
@@ -126,42 +38,19 @@ func Chimera(p, b int, opts ...Option) (*Schedule, error) {
 // Hanayo(p, 1, b) is Chimera-wave, the optimized transform of Chimera the
 // paper benchmarks against (§3.2, Fig 5).
 func Hanayo(p, w, b int, opts ...Option) (*Schedule, error) {
-	m := WaveMapping(p, w)
-	gp := defaults(b, m)
-	gp.Priority = BackwardFirst
-	// Live-activation budget: steady state needs ceil((S−s)/(2W)) per
-	// stage (round-trip lifetime over per-micro device work) and the fill
-	// phase needs up to P. max of the two never binds when B ≤ P — the
-	// paper's operating point, where every synchronous scheme holds ≈B
-	// activations at the forward/backward transition — and stops the
-	// generator from front-loading forwards beyond P when B > P, keeping
-	// Hanayo's memory at mainstream (1F1B) levels (§3.4).
-	gp.InflightCap = func(s, _ int) int {
-		steady := (m.S - s + 2*w - 1) / (2 * w)
-		return max(p+1, steady)
-	}
-	return build(fmt.Sprintf("hanayo-w%d", w), w, gp, opts...)
+	return NewGenerator().generate(famHanayo, w, p, b, opts...)
 }
 
 // ChimeraWave is the paper's evaluation baseline "Chimera-wave": Chimera
 // after the wave transformation, i.e. Hanayo with a single wave.
 func ChimeraWave(p, b int, opts ...Option) (*Schedule, error) {
-	s, err := Hanayo(p, 1, b, opts...)
-	if err != nil {
-		return nil, err
-	}
-	s.Scheme = "chimera-wave"
-	return s, nil
+	return NewGenerator().generate(famChimeraWave, 1, p, b, opts...)
 }
 
 // Interleaved generates Megatron-LM's interleaved 1F1B with v chunks per
 // device (§2.2 mentions it as DAPPLE's refinement).
 func Interleaved(p, v, b int, opts ...Option) (*Schedule, error) {
-	m := InterleavedMapping(p, v)
-	gp := defaults(b, m)
-	gp.Priority = BackwardFirst
-	gp.InflightCap = func(s, _ int) int { return max(p, (m.S-s+v-1)/v) }
-	return build(fmt.Sprintf("interleaved-v%d", v), 0, gp, opts...)
+	return NewGenerator().generate(famInterleaved, v, p, b, opts...)
 }
 
 // AsyncOneFOneB generates an asynchronous (no-flush) 1F1B block covering
@@ -169,60 +58,14 @@ func Interleaved(p, v, b int, opts ...Option) (*Schedule, error) {
 // (paper Fig 4b): the flush bubbles vanish and the steady state is fully
 // packed. Weight staleness is the semantic cost; we only study timing.
 func AsyncOneFOneB(p, b, iters int, opts ...Option) (*Schedule, error) {
-	gp := defaults(b*iters, StraightMapping(p))
-	gp.Priority = BackwardFirst
-	gp.InflightCap = func(s, _ int) int { return p - s }
-	sc, err := build("async-1f1b", 0, gp, opts...)
-	if err != nil {
-		return nil, err
-	}
-	sc.B = b * iters
-	return sc, nil
-}
-
-func build(name string, w int, gp GenParams, opts ...Option) (*Schedule, error) {
-	for _, o := range opts {
-		o(&gp)
-	}
-	order, err := generateOrder(gp)
-	if err != nil {
-		return nil, fmt.Errorf("sched: %s: %w", name, err)
-	}
-	lists := hoistSends(insertComm(gp.Mapping, gp.B, order))
-	return &Schedule{
-		Scheme:  name,
-		P:       gp.Mapping.P,
-		B:       gp.B,
-		S:       gp.Mapping.S,
-		W:       w,
-		Mapping: gp.Mapping,
-		Lists:   lists,
-	}, nil
+	return NewGenerator().generate(famAsync, 0, p, b*iters, opts...)
 }
 
 // ByName builds a schedule from a scheme name used by benchmarks and CLIs:
 // "gpipe", "dapple", "chimera", "chimera-wave", "hanayo-w<N>",
-// "interleaved-v<N>".
+// "interleaved-v<N>". It delegates to a fresh Generator, so the result is
+// structurally identical to Generator.Generate output and already
+// validated.
 func ByName(name string, p, b int, opts ...Option) (*Schedule, error) {
-	switch {
-	case name == "gpipe":
-		return GPipe(p, b, opts...)
-	case name == "dapple" || name == "1f1b":
-		return DAPPLE(p, b, opts...)
-	case name == "chimera":
-		return Chimera(p, b, opts...)
-	case name == "chimera-wave":
-		return ChimeraWave(p, b, opts...)
-	case name == "gems":
-		return GEMS(p, b, opts...)
-	default:
-		var n int
-		if _, err := fmt.Sscanf(name, "hanayo-w%d", &n); err == nil && n > 0 {
-			return Hanayo(p, n, b, opts...)
-		}
-		if _, err := fmt.Sscanf(name, "interleaved-v%d", &n); err == nil && n > 0 {
-			return Interleaved(p, n, b, opts...)
-		}
-		return nil, fmt.Errorf("sched: unknown scheme %q", name)
-	}
+	return NewGenerator().Generate(name, p, b, opts...)
 }

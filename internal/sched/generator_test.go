@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// generatorSchemes is every scheme of the golden parity table — the full
+// set one Generator must compile interchangeably (mirrors
+// internal/sim/runner_test.go's allSchemes).
+var generatorSchemes = []string{
+	"gpipe", "dapple", "chimera", "chimera-wave",
+	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems",
+}
+
+// schedulesEqual compares two schedules bit-for-bit: headers, every action
+// of every list (reflect.DeepEqual over the lists), and the mapping's
+// observable shape. Mapping function fields make DeepEqual over the whole
+// struct meaningless, so the mapping is compared by kind and dimensions.
+func schedulesEqual(t *testing.T, label string, got, want *Schedule) {
+	t.Helper()
+	if got.Scheme != want.Scheme || got.P != want.P || got.B != want.B ||
+		got.S != want.S || got.W != want.W {
+		t.Fatalf("%s: header (%s P=%d B=%d S=%d W=%d) != (%s P=%d B=%d S=%d W=%d)",
+			label, got.Scheme, got.P, got.B, got.S, got.W,
+			want.Scheme, want.P, want.B, want.S, want.W)
+	}
+	if got.Mapping.Kind != want.Mapping.Kind || got.Mapping.P != want.Mapping.P ||
+		got.Mapping.S != want.Mapping.S || got.Mapping.W != want.Mapping.W {
+		t.Fatalf("%s: mapping shape differs", label)
+	}
+	if !reflect.DeepEqual(got.Lists, want.Lists) {
+		for d := range want.Lists {
+			if d >= len(got.Lists) || len(got.Lists[d]) != len(want.Lists[d]) {
+				t.Fatalf("%s: device %d list length differs", label, d)
+			}
+			for i := range want.Lists[d] {
+				if got.Lists[d][i] != want.Lists[d][i] {
+					t.Fatalf("%s: device %d op %d: %v != %v",
+						label, d, i, got.Lists[d][i], want.Lists[d][i])
+				}
+			}
+		}
+		t.Fatalf("%s: lists differ", label)
+	}
+}
+
+// TestGeneratorRegrowthMatchesFresh is the arena re-growth correctness
+// test: one Generator reused across ascending then descending (P, B)
+// shapes, for all nine schemes, must produce schedules bit-for-bit
+// identical to fresh sched.ByName calls — shrinking back to a small shape
+// after a large one must not leak any state from the bigger arenas (stale
+// pending tasks, oversized lists, leftover heap events, dirty validation
+// flags).
+func TestGeneratorRegrowthMatchesFresh(t *testing.T) {
+	shapes := [][2]int{{2, 4}, {4, 8}, {8, 16}, {4, 4}, {2, 2}}
+	g := NewGenerator()
+	for _, scheme := range generatorSchemes {
+		for _, shape := range shapes {
+			p, b := shape[0], shape[1]
+			fresh, err := ByName(scheme, p, b)
+			if err != nil {
+				t.Fatalf("%s P=%d B=%d fresh: %v", scheme, p, b, err)
+			}
+			reused, err := g.Generate(scheme, p, b)
+			if err != nil {
+				t.Fatalf("%s P=%d B=%d reused: %v", scheme, p, b, err)
+			}
+			schedulesEqual(t, scheme, reused, fresh)
+		}
+	}
+}
+
+// TestGeneratorInterleavesSchemes drives one Generator across alternating
+// schemes at the same shape — the per-shape caches (mapping, cap table,
+// name) must never cross-contaminate between families that share a
+// placement (chimera and gems share ChimeraMapping; chimera-wave and
+// hanayo-w1 share WaveMapping but differ in name).
+func TestGeneratorInterleavesSchemes(t *testing.T) {
+	g := NewGenerator()
+	for round := 0; round < 3; round++ {
+		for _, scheme := range []string{"chimera", "gems", "chimera-wave", "hanayo-w1"} {
+			fresh, err := ByName(scheme, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := g.Generate(scheme, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedulesEqual(t, scheme, reused, fresh)
+		}
+	}
+}
+
+// TestGeneratorOwnedResult documents the ownership contract: the Schedule
+// returned by Generate is rewritten in place by the next call.
+func TestGeneratorOwnedResult(t *testing.T) {
+	g := NewGenerator()
+	first, err := g.Generate("dapple", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := first.Clone()
+	second, err := g.Generate("gpipe", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("Generator must return its single owned Schedule")
+	}
+	if first.Scheme != "gpipe" {
+		t.Fatal("the owned Schedule must describe the latest call")
+	}
+	if clone.Scheme != "dapple" || Validate(clone) != nil {
+		t.Fatal("a Clone taken before the next Generate must stay intact")
+	}
+}
+
+// TestGeneratorAllocsZero pins the tentpole number: after warmup on a
+// shape, repeated Generate calls — including the fused validation replay —
+// allocate nothing.
+func TestGeneratorAllocsZero(t *testing.T) {
+	g := NewGenerator()
+	if _, err := g.Generate("hanayo-w2", 8, 8); err != nil { // warm the arenas
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.Generate("hanayo-w2", 8, 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Generate allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestGeneratorAllocsZeroMixed pins the sweep-shaped steady state: cycling
+// through every scheme family and several shapes, as an AutoTune worker
+// does, stays allocation-free once every shape has been seen.
+func TestGeneratorAllocsZeroMixed(t *testing.T) {
+	g := NewGenerator()
+	cycle := func() {
+		for _, scheme := range generatorSchemes {
+			for _, shape := range [][2]int{{2, 4}, {4, 8}, {8, 8}} {
+				if _, err := g.Generate(scheme, shape[0], shape[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	cycle() // warm every (scheme, shape) entry
+	if allocs := testing.AllocsPerRun(5, cycle); allocs > 0 {
+		t.Fatalf("steady-state mixed-scheme generation allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestGeneratorOptionsMatchOneShot: the Option escape hatch (the ablation
+// path that flips priority or swaps cost ratios) must flow through the
+// Generator identically to the one-shot constructors.
+func TestGeneratorOptionsMatchOneShot(t *testing.T) {
+	fwdFirst := func(gp *GenParams) { gp.Priority = ForwardFirst }
+	fresh, err := Hanayo(8, 2, 8, fwdFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator()
+	if _, err := g.Generate("hanayo-w2", 8, 8); err != nil { // warm with default opts
+		t.Fatal(err)
+	}
+	reused, err := g.Generate("hanayo-w2", 8, 8, fwdFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedulesEqual(t, "hanayo-w2+fwdFirst", reused, fresh)
+
+	costs, err := DAPPLE(4, 8, WithCosts(1, 1.5, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reusedCosts, err := g.Generate("dapple", 4, 8, WithCosts(1, 1.5, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedulesEqual(t, "dapple+costs", reusedCosts, costs)
+}
+
+// TestGeneratorRejects: scheme-name and shape errors must match the
+// one-shot constructors'.
+func TestGeneratorRejects(t *testing.T) {
+	g := NewGenerator()
+	if _, err := g.Generate("nope", 4, 4); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	if _, err := g.Generate("hanayo-w2x", 4, 4); err == nil {
+		t.Fatal("trailing garbage in a scheme name must fail")
+	}
+	if _, err := g.Generate("chimera", 4, 3); err == nil {
+		t.Fatal("odd B must fail for chimera")
+	}
+	if _, err := g.Generate("gems", 4, 3); err == nil {
+		t.Fatal("odd B must fail for gems")
+	}
+	if _, err := g.Generate("gpipe", 4, 0); err == nil {
+		t.Fatal("B=0 must fail")
+	}
+	// The generator must stay usable after a rejected call.
+	if _, err := g.Generate("gpipe", 4, 4); err != nil {
+		t.Fatal(err)
+	}
+}

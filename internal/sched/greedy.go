@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Priority selects which ready compute task a device runs next.
 type Priority int
@@ -36,268 +33,458 @@ type GenParams struct {
 	Tf, Tb, Tc float64
 }
 
-// task identifies one compute node of the iteration DAG.
-type task struct {
-	micro int
-	stage int
-	back  bool
-}
-
-// genEvent orders the internal simulation of the generator.
+// genEvent is one entry of the engine's typed event heap: "device dev may be
+// able to start something at time". dev == wakeAll means every device must
+// be rescanned (a backward completed, releasing live-activation budget that
+// any capped forward anywhere may have been waiting on).
 type genEvent struct {
 	time float64
-	seq  int
-	task task
+	dev  int32
 }
 
-type genEventQueue []genEvent
+const wakeAll = int32(-1)
 
-func (q genEventQueue) Len() int      { return len(q) }
-func (q genEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q genEventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q *genEventQueue) Push(x any) { *q = append(*q, x.(genEvent)) }
-func (q *genEventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
-// generateOrder runs a greedy time-driven list scheduling of the iteration
-// DAG and returns, per device, the ordered compute actions. The scheduler
-// is the paper's "unified framework" engine: every synchronous scheme is a
-// point in (placement, priority, cap, barrier) space.
+// engine is the greedy list scheduler on flat reusable storage. All state
+// lives in arenas owned by the engine and grown monotonically to the
+// largest (P, B, S) shape seen, so a Generator driving repeated runs
+// allocates nothing in steady state. The zero value is ready to use; an
+// engine is NOT safe for concurrent runs.
 //
-// All scheduler state lives in flat slices indexed by a dense task id
-// (back, micro, stage) with per-device pending lists, so the inner pick
-// loop scans only one device's candidates — the map-based predecessor
-// scanned every ready task for every device at every event, which
-// dominated sweep-sized generation. The selection rule is a total order
-// (priority class, then micro, then stage), so the result is identical to
-// the map version's regardless of scan order.
-func generateOrder(p GenParams) ([][]Action, error) {
-	m := p.Mapping
-	if p.B <= 0 {
-		return nil, fmt.Errorf("sched: B must be positive, got %d", p.B)
-	}
-	if p.Tf <= 0 || p.Tb <= 0 {
-		return nil, fmt.Errorf("sched: Tf and Tb must be positive")
-	}
-	S, P := m.S, m.P
-	B := p.B
+// Dense task ids: forwards occupy [0, B·S), backwards [B·S, 2·B·S); within
+// a half the id is micro·S + stage. The selection rule is a total order
+// (priority class, then micro, then stage), so results are scan-order
+// independent per device; cross-device order is fixed by ascending device
+// id at every time step, exactly as the predecessor engine scanned.
+type engine struct {
+	// Run-scoped configuration (set by run, cleared on exit so the engine
+	// retains no caller state between runs).
+	gp     *GenParams
+	dev    *[2][]int32 // per (micro&1, stage) device table; nil → closures
+	chk    *[2][]int32 // per (micro&1, stage) chunk table; nil → closures
+	capTab []int32     // per (stage, chunkClass) inflight cap; nil → closure/unlimited
+	s, p   int         // stages, devices
+	half   int         // B·S
+	chunks int         // chunks per device
 
-	// Dense task ids: forwards occupy [0, B·S), backwards [B·S, 2·B·S);
-	// within a half the id is micro·S + stage.
-	half := B * S
-	idxOf := func(micro, stage int, back bool) int {
-		i := micro*S + stage
-		if back {
-			i += half
-		}
-		return i
+	// Arenas.
+	readyAt  []float64  // valid while queued
+	queued   []bool     // sits in its device's pending list
+	done     []bool     // executed
+	devOf    []int32    // task -> device
+	pending  [][]int32  // per device: queued, not-yet-done tasks
+	free     []float64  // per device: busy until
+	inflight []int32    // (stage, chunkClass) -> live activations
+	fwdLeft  []int32    // forwards remaining per device (phase barrier)
+	order    [][]Action // per device compute order (the run's output)
+	lists    [][]Action // per device full action lists (after comm insertion)
+	events   []genEvent // binary min-heap on time
+	wake     []bool     // per device: needs rescanning at the popped time
+}
+
+// arena reslices s to n elements, reallocating only when capacity is
+// insufficient (monotonic growth) and zeroing the active window, so reused
+// storage starts every run in the fresh-allocation state. The local twin
+// of exec.Arena — exec imports sched, so sched cannot import it back.
+func arena[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	microOf := func(i int) int { return (i % half) / S }
-	stageOf := func(i int) int { return i % S }
-	backOf := func(i int) bool { return i >= half }
+	s = s[:n]
+	clear(s)
+	return s
+}
 
-	readyAt := make([]float64, 2*half) // valid while queued
-	queued := make([]bool, 2*half)     // sits in its device's pending list
-	doneT := make([]bool, 2*half)
-	devOf := make([]int32, 2*half)
-	pending := make([][]int32, P) // per device: queued, not-yet-done tasks
-
-	deviceFree := make([]float64, P)
-	chunks := m.ChunksPerDevice()
-	inflight := make([]int, S*chunks) // (stage, chunkClass) -> live acts
-	fwdLeft := make([]int, P)         // forwards remaining per device (barrier)
-	order := make([][]Action, P)
-	perDev := 2*half/P + 4
-	for d := 0; d < P; d++ {
-		pending[d] = make([]int32, 0, perDev)
-		order[d] = make([]Action, 0, perDev)
+// arena2D reslices the outer slice to n rows, preserving the inner rows'
+// backing arrays (their capacity is the whole point of reuse) and resetting
+// every active row to length zero.
+func arena2D[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		grown := make([][]T, n)
+		copy(grown, s[:len(s)])
+		s = grown
 	}
-
-	// enqueue marks a task ready at time at and files it under its device.
-	// Every task has a single producer edge, so the min-merge branch is
-	// defensive only.
-	enqueue := func(micro, stage int, back bool, at float64) {
-		i := idxOf(micro, stage, back)
-		if doneT[i] {
-			return
-		}
-		if queued[i] {
-			if at < readyAt[i] {
-				readyAt[i] = at
-			}
-			return
-		}
-		readyAt[i] = at
-		queued[i] = true
-		d := m.Device(micro, stage)
-		devOf[i] = int32(d)
-		pending[d] = append(pending[d], int32(i))
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
 	}
+	return s
+}
 
-	for mi := 0; mi < B; mi++ {
-		enqueue(mi, 0, false, 0)
-		for s := 0; s < S; s++ {
-			fwdLeft[m.Device(mi, s)]++
-		}
+// devAt resolves the device of (micro, stage) through the dense table when
+// the mapping is micro-parity-determined (every built-in placement) or the
+// mapping closures otherwise (custom mappings swapped in via Option).
+func (e *engine) devAt(micro, stage int) int32 {
+	if e.dev != nil {
+		return e.dev[micro&1][stage]
 	}
+	return int32(e.gp.Mapping.Device(micro, stage))
+}
 
-	eligible := func(i int, now float64) bool {
-		if readyAt[i] > now {
-			return false
+func (e *engine) chunkAt(micro, stage int) int32 {
+	if e.chk != nil {
+		return e.chk[micro&1][stage]
+	}
+	return int32(e.gp.Mapping.Chunk(micro, stage))
+}
+
+// capOf returns the inflight cap for (stage, chunk), or a negative value
+// for unlimited.
+func (e *engine) capOf(stage, chunk int) int {
+	if e.capTab != nil {
+		return int(e.capTab[stage*e.chunks+chunk])
+	}
+	if e.gp.InflightCap != nil {
+		return e.gp.InflightCap(stage, chunk)
+	}
+	return -1
+}
+
+// push adds an event to the typed min-heap. No interface boxing: the
+// container/heap predecessor allocated on every Push/Pop, which dominated
+// the generator's allocation profile (~6 events per compute task).
+func (e *engine) push(t float64, dev int32) {
+	e.events = append(e.events, genEvent{time: t, dev: dev})
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.events[parent].time <= e.events[i].time {
+			break
 		}
-		if !backOf(i) {
-			if p.InflightCap != nil {
-				stage := stageOf(i)
-				chunk := m.Chunk(microOf(i), stage)
-				if inflight[stage*chunks+chunk] >= p.InflightCap(stage, chunk) {
-					return false
-				}
-			}
-			return true
+		e.events[parent], e.events[i] = e.events[i], e.events[parent]
+		i = parent
+	}
+}
+
+// pop removes the minimum-time event. Ties pop in arbitrary order: the run
+// loop merges every event of one instant into a single wake set, so only
+// the instant matters.
+func (e *engine) pop() genEvent {
+	top := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.events[l].time < e.events[small].time {
+			small = l
 		}
-		if p.PhaseBarrier && fwdLeft[devOf[i]] > 0 {
+		if r < n && e.events[r].time < e.events[small].time {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.events[i], e.events[small] = e.events[small], e.events[i]
+		i = small
+	}
+	return top
+}
+
+// enqueue marks a task ready at time at and files it under its device.
+// Every task has a single producer edge, so the min-merge branch is
+// defensive only. The caller pushes the matching wake event.
+func (e *engine) enqueue(micro, stage int, back bool, at float64) {
+	i := micro*e.s + stage
+	if back {
+		i += e.half
+	}
+	if e.done[i] {
+		return
+	}
+	if e.queued[i] {
+		if at < e.readyAt[i] {
+			e.readyAt[i] = at
+		}
+		return
+	}
+	e.readyAt[i] = at
+	e.queued[i] = true
+	d := e.devAt(micro, stage)
+	e.devOf[i] = d
+	e.pending[d] = append(e.pending[d], int32(i))
+}
+
+// eligible reports whether queued task i can start at time now.
+func (e *engine) eligible(i int, now float64) bool {
+	if e.readyAt[i] > now {
+		return false
+	}
+	if i < e.half { // forward
+		stage := i % e.s
+		chunk := int(e.chunkAt((i%e.half)/e.s, stage))
+		if c := e.capOf(stage, chunk); c >= 0 && int(e.inflight[stage*e.chunks+chunk]) >= c {
 			return false
 		}
 		return true
 	}
-
-	// classOf ranks the priority class (0 runs first).
-	classOf := func(back bool) int {
-		if back == (p.Priority == BackwardFirst) {
-			return 0
-		}
-		return 1
+	if e.gp.PhaseBarrier && e.fwdLeft[e.devOf[i]] > 0 {
+		return false
 	}
+	return true
+}
 
-	// pick selects the highest-priority eligible task for device d at time
-	// now (class asc, micro asc, stage desc), or -1. Finished tasks are
-	// compacted out of the pending list in passing.
-	pick := func(d int, now float64) int {
-		lst := pending[d]
-		best := -1
-		var bestClass, bestMicro, bestStage int
-		w := 0
-		for _, i32 := range lst {
-			i := int(i32)
-			if doneT[i] {
-				continue // drop: executed on an earlier pass
+// pick selects the highest-priority eligible task for device d at time now
+// (class asc, micro asc, stage desc), or -1. Finished tasks are compacted
+// out of the pending list in passing.
+func (e *engine) pick(d int, now float64) int {
+	lst := e.pending[d]
+	best := -1
+	var bestClass, bestMicro, bestStage int
+	w := 0
+	for _, i32 := range lst {
+		i := int(i32)
+		if e.done[i] {
+			continue // drop: executed on an earlier pass
+		}
+		lst[w] = i32
+		w++
+		if !e.eligible(i, now) {
+			continue
+		}
+		cls := 0
+		if (i >= e.half) != (e.gp.Priority == BackwardFirst) {
+			cls = 1
+		}
+		micro, stage := (i%e.half)/e.s, i%e.s
+		if best == -1 || cls < bestClass ||
+			(cls == bestClass && (micro < bestMicro ||
+				(micro == bestMicro && stage > bestStage))) {
+			best, bestClass, bestMicro, bestStage = i, cls, micro, stage
+		}
+	}
+	e.pending[d] = lst[:w]
+	return best
+}
+
+// finish applies task i's completion effects at time end: successor
+// enqueues with transfer latency, live-activation accounting, and the wake
+// events that make the restricted scan sound (the successor's device at its
+// ready time; this device when it frees; everyone when a backward releases
+// cap budget, since capped forwards on any device may unblock).
+func (e *engine) finish(i int, end float64) {
+	e.done[i] = true
+	micro, stage := (i%e.half)/e.s, i%e.s
+	d := e.devOf[i]
+	if i < e.half { // forward
+		e.fwdLeft[d]--
+		e.inflight[stage*e.chunks+int(e.chunkAt(micro, stage))]++
+		// Successor: next forward stage, or own backward at the top.
+		if stage+1 < e.s {
+			sd := e.devAt(micro, stage+1)
+			at := end
+			if sd != d {
+				at += e.gp.Tc
 			}
-			lst[w] = i32
-			w++
-			if !eligible(i, now) {
+			e.enqueue(micro, stage+1, false, at)
+			e.push(at, sd)
+		} else {
+			e.enqueue(micro, stage, true, end)
+		}
+		e.push(end, d) // device free; barrier release is device-local
+		return
+	}
+	e.inflight[stage*e.chunks+int(e.chunkAt(micro, stage))]--
+	if stage > 0 {
+		sd := e.devAt(micro, stage-1)
+		at := end
+		if sd != d {
+			at += e.gp.Tc
+		}
+		e.enqueue(micro, stage-1, true, at)
+		e.push(at, sd)
+	}
+	// Device free, and the released live-activation budget may unblock
+	// capped forwards. With dense tables every forward of this (stage,
+	// chunk) class runs on this same device — (stage, chunk) determines the
+	// host for every parity-determined placement — so waking d covers the
+	// release; only custom closure mappings need the broadcast.
+	if e.dev != nil {
+		e.push(end, d)
+	} else {
+		e.push(end, wakeAll)
+	}
+}
+
+// runDevice executes the best eligible task on device d at time now, if
+// any, and reports whether one ran.
+func (e *engine) runDevice(d int, now float64) bool {
+	if e.free[d] > now {
+		return false
+	}
+	t := e.pick(d, now)
+	if t < 0 {
+		return false
+	}
+	dur := e.gp.Tf
+	kind := OpForward
+	if t >= e.half {
+		dur = e.gp.Tb
+		kind = OpBackward
+	}
+	end := now + dur
+	e.free[d] = end
+	micro, stage := (t%e.half)/e.s, t%e.s
+	e.order[d] = append(e.order[d], Action{
+		Kind:  kind,
+		Micro: micro,
+		Stage: stage,
+		Chunk: int(e.chunkAt(micro, stage)),
+		Peer:  -1,
+	})
+	e.finish(t, end)
+	return true
+}
+
+// run executes the greedy time-driven list scheduling of the iteration DAG,
+// leaving the per-device compute orders in e.order. It is the paper's
+// "unified framework" engine: every synchronous scheme is a point in
+// (placement, priority, cap, barrier) space.
+//
+// The event loop is wake-driven: every event names the one device whose
+// state changed at that instant (task became ready, device became free), so
+// the first scan of an instant visits only woken devices — in ascending
+// device id, matching the full scan of the predecessor engine, which
+// re-scanned every device for every event. Backward completions wake all
+// devices (released cap budget is global). Once anything runs, the loop
+// falls back to full fixed-point rescans, because an execution can change
+// eligibility everywhere; quiescence between instants is preserved, so the
+// generated orders are bit-for-bit those of the full-scan engine.
+func (e *engine) run(gp *GenParams, dev, chk *[2][]int32, capTab []int32) error {
+	m := gp.Mapping
+	if gp.B <= 0 {
+		return fmt.Errorf("sched: B must be positive, got %d", gp.B)
+	}
+	if gp.Tf <= 0 || gp.Tb <= 0 {
+		return fmt.Errorf("sched: Tf and Tb must be positive")
+	}
+	e.gp, e.dev, e.chk, e.capTab = gp, dev, chk, capTab
+	defer func() { e.gp, e.dev, e.chk, e.capTab = nil, nil, nil, nil }()
+	e.s, e.p, e.half = m.S, m.P, gp.B*m.S
+	e.chunks = m.ChunksPerDevice()
+	total := 2 * e.half
+
+	e.readyAt = arena(e.readyAt, total)
+	e.queued = arena(e.queued, total)
+	e.done = arena(e.done, total)
+	e.devOf = arena(e.devOf, total)
+	e.free = arena(e.free, e.p)
+	e.inflight = arena(e.inflight, e.s*e.chunks)
+	e.fwdLeft = arena(e.fwdLeft, e.p)
+	e.wake = arena(e.wake, e.p)
+	e.pending = arena2D(e.pending, e.p)
+	e.order = arena2D(e.order, e.p)
+	e.events = e.events[:0]
+
+	for mi := 0; mi < gp.B; mi++ {
+		e.enqueue(mi, 0, false, 0)
+		for s := 0; s < e.s; s++ {
+			e.fwdLeft[e.devAt(mi, s)]++
+		}
+	}
+	e.push(0, wakeAll)
+
+	executed := 0
+	guard := 0
+	for executed < total {
+		guard++
+		if guard > 64*total+1024 {
+			return fmt.Errorf("sched: generator stalled (scheme deadlock?) after %d/%d tasks", executed, total)
+		}
+		if len(e.events) == 0 {
+			return fmt.Errorf("sched: no events left with %d/%d tasks executed", executed, total)
+		}
+		now := e.events[0].time
+		all := false
+		for len(e.events) > 0 && e.events[0].time == now {
+			if ev := e.pop(); ev.dev < 0 {
+				all = true
+			} else {
+				e.wake[ev.dev] = true
+			}
+		}
+		ran := false
+		for d := 0; d < e.p; d++ {
+			if !all && !e.wake[d] {
 				continue
 			}
-			cls := classOf(backOf(i))
-			micro, stage := microOf(i), stageOf(i)
-			if best == -1 || cls < bestClass ||
-				(cls == bestClass && (micro < bestMicro ||
-					(micro == bestMicro && stage > bestStage))) {
-				best, bestClass, bestMicro, bestStage = i, cls, micro, stage
-			}
-		}
-		pending[d] = lst[:w]
-		return best
-	}
-
-	totalTasks := 2 * half
-	executed := 0
-	// Event-driven loop: events are "device d may be able to start
-	// something at time t".
-	var q genEventQueue
-	seq := 0
-	push := func(t float64) {
-		heap.Push(&q, genEvent{time: t, seq: seq})
-		seq++
-	}
-	push(0)
-
-	finish := func(i int, end float64) {
-		doneT[i] = true
-		micro, stage, back := microOf(i), stageOf(i), backOf(i)
-		d := int(devOf[i])
-		if !back {
-			fwdLeft[d]--
-			inflight[stage*chunks+m.Chunk(micro, stage)]++
-			// Successor: next forward stage, or own backward at the top.
-			if stage+1 < S {
-				lat := 0.0
-				if m.Device(micro, stage+1) != d {
-					lat = p.Tc
-				}
-				enqueue(micro, stage+1, false, end+lat)
-				push(end + lat)
-			} else {
-				enqueue(micro, stage, true, end)
-				push(end)
-			}
-		} else {
-			inflight[stage*chunks+m.Chunk(micro, stage)]--
-			if stage > 0 {
-				lat := 0.0
-				if m.Device(micro, stage-1) != d {
-					lat = p.Tc
-				}
-				enqueue(micro, stage-1, true, end+lat)
-				push(end + lat)
-			}
-		}
-		// A completed backward may unblock capped forwards and barriers.
-		push(end)
-	}
-
-	guard := 0
-	for executed < totalTasks {
-		guard++
-		if guard > 64*totalTasks+1024 {
-			return nil, fmt.Errorf("sched: generator stalled (scheme deadlock?) after %d/%d tasks", executed, totalTasks)
-		}
-		if q.Len() == 0 {
-			return nil, fmt.Errorf("sched: no events left with %d/%d tasks executed", executed, totalTasks)
-		}
-		ev := heap.Pop(&q).(genEvent)
-		now := ev.time
-		progress := true
-		for progress {
-			progress = false
-			for d := 0; d < P; d++ {
-				if deviceFree[d] > now {
-					continue
-				}
-				t := pick(d, now)
-				if t < 0 {
-					continue
-				}
-				dur := p.Tf
-				kind := OpForward
-				if backOf(t) {
-					dur = p.Tb
-					kind = OpBackward
-				}
-				end := now + dur
-				deviceFree[d] = end
-				order[d] = append(order[d], Action{
-					Kind:  kind,
-					Micro: microOf(t),
-					Stage: stageOf(t),
-					Chunk: m.Chunk(microOf(t), stageOf(t)),
-					Peer:  -1,
-				})
-				finish(t, end)
-				push(end)
+			e.wake[d] = false
+			if e.runDevice(d, now) {
+				ran = true
 				executed++
-				progress = true
+			}
+		}
+		for ran {
+			ran = false
+			for d := 0; d < e.p; d++ {
+				if e.runDevice(d, now) {
+					ran = true
+					executed++
+				}
 			}
 		}
 	}
-	return order, nil
+	return nil
+}
+
+// insertComm expands the engine's per-device compute orders into full
+// action lists by inserting point-to-point transfers on every stage
+// boundary that crosses devices, writing into the engine's recycled list
+// arenas. Sends are placed immediately after the producing compute op —
+// maximizing communication/computation overlap on the send side — and
+// receives immediately before the consuming one; the executors treat
+// consecutive comm ops as one batched isend/irecv group (§4.2), which is
+// what makes the bidirectional exchanges of wave pipelines deadlock-free.
+// dev is the same dense device table run used (nil → mapping closures).
+func (e *engine) insertComm(m *Mapping, dev *[2][]int32) [][]Action {
+	devAt := func(micro, stage int) int {
+		if dev != nil {
+			return int(dev[micro&1][stage])
+		}
+		return m.Device(micro, stage)
+	}
+	e.lists = arena2D(e.lists, len(e.order))
+	for d, ops := range e.order {
+		list := e.lists[d]
+		for _, a := range ops {
+			// Receives needed before this compute op.
+			switch a.Kind {
+			case OpForward:
+				if a.Stage > 0 {
+					if src := devAt(a.Micro, a.Stage-1); src != d {
+						list = append(list, Action{Kind: OpRecvAct, Micro: a.Micro, Stage: a.Stage, Peer: src})
+					}
+				}
+			case OpBackward:
+				if a.Stage < m.S-1 {
+					if src := devAt(a.Micro, a.Stage+1); src != d {
+						list = append(list, Action{Kind: OpRecvGrad, Micro: a.Micro, Stage: a.Stage, Peer: src})
+					}
+				}
+			}
+			list = append(list, a)
+			// Sends produced by this compute op.
+			switch a.Kind {
+			case OpForward:
+				if a.Stage+1 < m.S {
+					if dst := devAt(a.Micro, a.Stage+1); dst != d {
+						list = append(list, Action{Kind: OpSendAct, Micro: a.Micro, Stage: a.Stage + 1, Peer: dst})
+					}
+				}
+			case OpBackward:
+				if a.Stage > 0 {
+					if dst := devAt(a.Micro, a.Stage-1); dst != d {
+						list = append(list, Action{Kind: OpSendGrad, Micro: a.Micro, Stage: a.Stage - 1, Peer: dst})
+					}
+				}
+			}
+		}
+		// Synchronous flush: gradient all-reduce then optimizer step.
+		list = append(list,
+			Action{Kind: OpAllReduce, Micro: -1, Stage: -1, Peer: -1},
+			Action{Kind: OpOptimStep, Micro: -1, Stage: -1, Peer: -1})
+		e.lists[d] = list
+	}
+	return e.lists
 }

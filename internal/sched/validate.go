@@ -15,18 +15,93 @@ import "fmt"
 //  4. each list ends with AllReduce then OptimStep (flush completeness).
 //
 // A nil return means any executor can run the schedule to completion.
+//
+// This is the entry point for deserialized and hand-built schedules.
+// Generator output arrives already validated (generation fuses the same
+// replay), so re-validating it is never necessary. The checks run on dense
+// index arithmetic over the generator's task-id scheme — the map-based
+// predecessor built four maps over 2·B·S tasks per call, which dominated
+// sweep-sized generation.
 func Validate(s *Schedule) error {
+	var v validator
+	return v.validate(s, true)
+}
+
+// payload identifies one transfer for error reporting: the moving tensor
+// (activation of / gradient into (micro, stage)) plus its endpoints.
+type payload struct {
+	Kind         OpKind // OpSendAct or OpSendGrad
+	Micro, Stage int
+	Src, Dst     int
+}
+
+// oddMsg tracks in-flight transfers whose endpoints differ from the
+// mapping-implied canonical pair. Valid generated schedules never produce
+// one — insertComm emits exactly the canonical endpoints — so this
+// fallback list exists to keep exact map-predecessor semantics on
+// corrupted or hand-built inputs: such transfers may still pair up with a
+// matching receive, and any leftover is an unconsumed-send error.
+type oddMsg struct {
+	p payload
+	n int32
+}
+
+// validator owns the dense arenas of the schedule executability check. All
+// per-task state is indexed by the generator's dense id scheme — forwards
+// and activation payloads at micro·S+stage, backwards and gradient
+// payloads offset by B·S — so validation performs no map operations and,
+// when the arenas are reused (the Generator's fused path), no allocations.
+// The zero value is ready to use; not safe for concurrent use.
+type validator struct {
+	seen     []int32  // compute-op occurrence counts (static pass)
+	computed []bool   // forward/backward completion flags (replay)
+	sent     []int32  // outstanding canonical sends per payload id
+	recvd    []bool   // canonical payload delivered at its consumer
+	pc       []int    // per-device program counters
+	odd      []oddMsg // non-canonical transfers (see oddMsg)
+}
+
+// validate runs the check. static toggles the structural pass (list/tail
+// shape, per-op ranges, mapping conformance, exactly-once coverage); the
+// Generator's fused path skips it because construction establishes every
+// structural property, leaving only the rendezvous replay to prove.
+func (v *validator) validate(s *Schedule, static bool) error {
+	if static {
+		if err := v.checkStatic(s); err != nil {
+			return err
+		}
+	}
+	return v.replay(s)
+}
+
+// canonActPayload returns the dense id of activation payload (micro,
+// stage) if (src, dst) are the endpoints the mapping dictates, else -1.
+func canonActPayload(s *Schedule, micro, stage, src, dst int) int {
+	if stage < 1 || stage >= s.S ||
+		src != s.Mapping.Device(micro, stage-1) || dst != s.Mapping.Device(micro, stage) {
+		return -1
+	}
+	return micro*s.S + stage
+}
+
+// canonGradPayload is canonActPayload for gradient payloads (offset into
+// the backward half of the id space).
+func canonGradPayload(s *Schedule, micro, stage, src, dst int) int {
+	if stage < 0 || stage >= s.S-1 ||
+		src != s.Mapping.Device(micro, stage+1) || dst != s.Mapping.Device(micro, stage) {
+		return -1
+	}
+	return s.B*s.S + micro*s.S + stage
+}
+
+// checkStatic is the structural pass: shape, ranges, mapping conformance
+// and exactly-once compute coverage.
+func (v *validator) checkStatic(s *Schedule) error {
 	m := s.Mapping
 	if len(s.Lists) != s.P {
 		return fmt.Errorf("sched: %d lists for %d devices", len(s.Lists), s.P)
 	}
-
-	// --- static checks -----------------------------------------------
-	type key struct {
-		micro, stage int
-		back         bool
-	}
-	seen := map[key]int{}
+	v.seen = arena(v.seen, 2*s.B*s.S)
 	for d, list := range s.Lists {
 		if len(list) < 2 ||
 			list[len(list)-2].Kind != OpAllReduce ||
@@ -45,95 +120,99 @@ func Validate(s *Schedule) error {
 				if want := m.Chunk(a.Micro, a.Stage); want != a.Chunk {
 					return fmt.Errorf("sched: device %d: %v has chunk %d, mapping says %d", d, a, a.Chunk, want)
 				}
-				seen[key{a.Micro, a.Stage, a.Kind == OpBackward}]++
+				id := a.Micro*s.S + a.Stage
+				if a.Kind == OpBackward {
+					id += s.B * s.S
+				}
+				v.seen[id]++
 			case OpSendAct, OpRecvAct, OpSendGrad, OpRecvGrad:
 				if a.Peer < 0 || a.Peer >= s.P || a.Peer == d {
 					return fmt.Errorf("sched: device %d: bad peer in %v", d, a)
 				}
-			}
-		}
-	}
-	for mi := 0; mi < s.B; mi++ {
-		for st := 0; st < s.S; st++ {
-			for _, back := range []bool{false, true} {
-				if n := seen[key{mi, st, back}]; n != 1 {
-					return fmt.Errorf("sched: (micro=%d, stage=%d, back=%v) appears %d times", mi, st, back, n)
+				if a.Micro < 0 || a.Micro >= s.B || a.Stage < 0 || a.Stage >= s.S {
+					return fmt.Errorf("sched: device %d: out-of-range %v", d, a)
 				}
 			}
 		}
 	}
-
-	// --- dynamic rendezvous execution --------------------------------
-	// msg identifies a transfer payload.
-	type msg struct {
-		kind  OpKind // OpSendAct or OpSendGrad
-		micro int
-		stage int
-		src   int
-		dst   int
+	for id, n := range v.seen {
+		if n != 1 {
+			half := s.B * s.S
+			back := id >= half
+			rest := id % half
+			return fmt.Errorf("sched: (micro=%d, stage=%d, back=%v) appears %d times",
+				rest/s.S, rest%s.S, back, n)
+		}
 	}
-	sent := map[msg]int{}
-	computed := map[key]bool{}
-	received := map[msg]bool{}
-	pc := make([]int, s.P)
+	return nil
+}
 
-	// canRun reports whether device d's next batched group can complete.
+// replay abstractly executes the lists with batched rendezvous semantics:
+// round-robin over devices, each advancing through every op whose
+// prerequisites (computed predecessor, delivered payload, posted send) are
+// already met, until all lists drain or no device can move — a deadlock.
+func (v *validator) replay(s *Schedule) error {
+	m := s.Mapping
+	n := 2 * s.B * s.S
+	v.computed = arena(v.computed, n)
+	v.sent = arena(v.sent, n)
+	v.recvd = arena(v.recvd, n)
+	v.pc = arena(v.pc, s.P)
+	v.odd = v.odd[:0]
+
+	// step reports whether device d's next op can complete, advancing pc.
 	step := func(d int) (bool, error) {
 		list := s.Lists[d]
-		if pc[d] >= len(list) {
+		if v.pc[d] >= len(list) {
 			return false, nil
 		}
-		a := list[pc[d]]
+		a := list[v.pc[d]]
 		switch a.Kind {
 		case OpForward:
 			if a.Stage > 0 {
-				src := m.Device(a.Micro, a.Stage-1)
-				if src == d {
-					if !computed[key{a.Micro, a.Stage - 1, false}] {
+				if src := m.Device(a.Micro, a.Stage-1); src == d {
+					if !v.computed[a.Micro*s.S+a.Stage-1] {
 						return false, nil
 					}
-				} else if !received[msg{OpSendAct, a.Micro, a.Stage, src, d}] {
+				} else if !v.recvd[a.Micro*s.S+a.Stage] {
 					return false, nil
 				}
 			}
-			computed[key{a.Micro, a.Stage, false}] = true
+			v.computed[a.Micro*s.S+a.Stage] = true
 		case OpBackward:
-			if !computed[key{a.Micro, a.Stage, false}] {
+			if !v.computed[a.Micro*s.S+a.Stage] {
 				return false, fmt.Errorf("sched: device %d runs %v before its forward", d, a)
 			}
 			if a.Stage < s.S-1 {
-				src := m.Device(a.Micro, a.Stage+1)
-				if src == d {
-					if !computed[key{a.Micro, a.Stage + 1, true}] {
+				if src := m.Device(a.Micro, a.Stage+1); src == d {
+					if !v.computed[s.B*s.S+a.Micro*s.S+a.Stage+1] {
 						return false, nil
 					}
-				} else if !received[msg{OpSendGrad, a.Micro, a.Stage, src, d}] {
+				} else if !v.recvd[s.B*s.S+a.Micro*s.S+a.Stage] {
 					return false, nil
 				}
 			}
-			computed[key{a.Micro, a.Stage, true}] = true
+			v.computed[s.B*s.S+a.Micro*s.S+a.Stage] = true
 		case OpSendAct:
-			sent[msg{OpSendAct, a.Micro, a.Stage, d, a.Peer}]++
+			v.send(payload{OpSendAct, a.Micro, a.Stage, d, a.Peer},
+				canonActPayload(s, a.Micro, a.Stage, d, a.Peer))
 		case OpSendGrad:
-			sent[msg{OpSendGrad, a.Micro, a.Stage, d, a.Peer}]++
+			v.send(payload{OpSendGrad, a.Micro, a.Stage, d, a.Peer},
+				canonGradPayload(s, a.Micro, a.Stage, d, a.Peer))
 		case OpRecvAct:
-			mm := msg{OpSendAct, a.Micro, a.Stage, a.Peer, d}
-			if sent[mm] == 0 {
+			if !v.recv(payload{OpSendAct, a.Micro, a.Stage, a.Peer, d},
+				canonActPayload(s, a.Micro, a.Stage, a.Peer, d)) {
 				return false, nil
 			}
-			sent[mm]--
-			received[mm] = true
 		case OpRecvGrad:
-			mm := msg{OpSendGrad, a.Micro, a.Stage, a.Peer, d}
-			if sent[mm] == 0 {
+			if !v.recv(payload{OpSendGrad, a.Micro, a.Stage, a.Peer, d},
+				canonGradPayload(s, a.Micro, a.Stage, a.Peer, d)) {
 				return false, nil
 			}
-			sent[mm]--
-			received[mm] = true
 		case OpAllReduce, OpOptimStep:
 			// Flush ops always runnable once reached.
 		}
-		pc[d]++
+		v.pc[d]++
 		return true, nil
 	}
 
@@ -151,7 +230,7 @@ func Validate(s *Schedule) error {
 				}
 				progress = true
 			}
-			if pc[d] < len(s.Lists[d]) {
+			if v.pc[d] < len(s.Lists[d]) {
 				doneAll = false
 			}
 		}
@@ -161,20 +240,72 @@ func Validate(s *Schedule) error {
 		if !progress {
 			d0 := -1
 			for d := 0; d < s.P; d++ {
-				if pc[d] < len(s.Lists[d]) {
+				if v.pc[d] < len(s.Lists[d]) {
 					d0 = d
 					break
 				}
 			}
-			return fmt.Errorf("sched: deadlock — device %d stuck at %v (pc=%d)", d0, s.Lists[d0][pc[d0]], pc[d0])
+			return fmt.Errorf("sched: deadlock — device %d stuck at %v (pc=%d)", d0, s.Lists[d0][v.pc[d0]], v.pc[d0])
 		}
 	}
 
 	// Every send consumed.
-	for mm, n := range sent {
-		if n != 0 {
-			return fmt.Errorf("sched: %d unconsumed sends of %+v", n, mm)
+	half := s.B * s.S
+	for id, cnt := range v.sent {
+		if cnt != 0 {
+			p := payload{Kind: OpSendAct, Micro: (id % half) / s.S, Stage: id % s.S}
+			if id >= half {
+				p.Kind = OpSendGrad
+				p.Src, p.Dst = m.Device(p.Micro, p.Stage+1), m.Device(p.Micro, p.Stage)
+			} else {
+				p.Src, p.Dst = m.Device(p.Micro, p.Stage-1), m.Device(p.Micro, p.Stage)
+			}
+			return fmt.Errorf("sched: %d unconsumed sends of %+v", cnt, p)
+		}
+	}
+	for i := range v.odd {
+		if v.odd[i].n != 0 {
+			return fmt.Errorf("sched: %d unconsumed sends of %+v", v.odd[i].n, v.odd[i].p)
 		}
 	}
 	return nil
+}
+
+// send posts one transfer: canonical payloads count in the dense arena,
+// anything else lands on the odd list.
+func (v *validator) send(p payload, id int) {
+	if id >= 0 {
+		v.sent[id]++
+		return
+	}
+	for i := range v.odd {
+		if v.odd[i].p == p {
+			v.odd[i].n++
+			return
+		}
+	}
+	v.odd = append(v.odd, oddMsg{p: p, n: 1})
+}
+
+// recv consumes a posted transfer, reporting false (blocked) when no
+// matching send is outstanding.
+func (v *validator) recv(p payload, id int) bool {
+	if id >= 0 {
+		if v.sent[id] == 0 {
+			return false
+		}
+		v.sent[id]--
+		v.recvd[id] = true
+		return true
+	}
+	for i := range v.odd {
+		if v.odd[i].p == p {
+			if v.odd[i].n == 0 {
+				return false
+			}
+			v.odd[i].n--
+			return true
+		}
+	}
+	return false
 }
