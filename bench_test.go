@@ -9,6 +9,7 @@ package hanayo
 import (
 	"fmt"
 	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -357,6 +358,103 @@ func BenchmarkTunerRepeatedSweeps(b *testing.B) {
 	b.StopTimer()
 	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
 		b.ReportMetric(float64(baseline)/float64(perOp), "autotune/tuner-x")
+	}
+}
+
+// BenchmarkCachewireMultiGetRoundTrip measures one batched frame over
+// real TCP: a 64-key MultiGet against a warm server — the round trip a
+// sweep-start prefetch pays once where the per-key path pays 64.
+func BenchmarkCachewireMultiGetRoundTrip(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewCacheServer(0)
+	go srv.Serve(l)
+	defer srv.Close()
+	client, err := DialCache(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	const keys = 64
+	ks := make([]uint64, keys)
+	ents := make([]RemoteEntry, keys)
+	for i := range ks {
+		ks[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		ents[i] = RemoteEntry{PerReplica: float64(i), MaxGB: 8, Fits: i%2 == 0}
+	}
+	if err := client.MultiPut(ks, ents); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]RemoteEntry, keys)
+	ok := make([]bool, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.MultiGet(ks, out, ok); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i := range ok {
+		if !ok[i] {
+			b.Fatal("batched read missed a stored key")
+		}
+	}
+}
+
+// BenchmarkTunerRemoteTCPBatched is the distributed steady state the
+// batched fabric exists for: a cold Tuner (fresh worker process) sweeping
+// a fig10-sized grid whose keys all sit in a TCP tier. One prefetch
+// MultiGet replaces the per-key round trips, so the sweep costs O(1)
+// frames; the reported metric is the speedup over the per-key mode
+// (TunerOptions.NoPrefetch) on the identical workload — the acceptance
+// bar is ≥5×.
+func BenchmarkTunerRemoteTCPBatched(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewCacheServer(0)
+	go srv.Serve(l)
+	defer srv.Close()
+	client, err := DialCache(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	space := autotuneSpace(0)
+	warm := core.NewTuner(core.TunerOptions{Remote: client})
+	if cands := warm.AutoTune(cl, model, space); len(cands) == 0 {
+		b.Fatal("empty sweep")
+	}
+	// Per-key baseline, measured once warmed: what BENCH_<n>'s
+	// tuner_fig10_remote_tcp_repeat records.
+	perKey := func() time.Duration {
+		tn := core.NewTuner(core.TunerOptions{Remote: client, NoPrefetch: true})
+		start := time.Now()
+		if cands := tn.AutoTune(cl, model, space); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+		return time.Since(start)
+	}
+	perKey() // warm the path
+	baseline := perKey()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := core.NewTuner(core.TunerOptions{Remote: client})
+		if cands := cold.AutoTune(cl, model, space); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(baseline)/float64(perOp), "perkey/batched-x")
 	}
 }
 

@@ -209,11 +209,10 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}))
-	// The distributed-sweep steady state: a brand-new Tuner (cold local
-	// cache, as a fresh worker process would be) sweeping a grid whose
-	// every key is already published to the TCP tier — pure wire cost, no
-	// simulations.
-	add(measure("tuner_fig10_remote_tcp_repeat", func(b *testing.B) {
+	// One batched frame over real TCP: a 64-key MultiGet against a warm
+	// server — what a sweep-start prefetch pays once where the per-key
+	// path pays 64 exchanges.
+	add(measure("cachewire_multiget_roundtrip", func(b *testing.B) {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
@@ -226,18 +225,62 @@ func writeBenchJSON(path string) error {
 			b.Fatal(err)
 		}
 		defer client.Close()
-		warm := core.NewTuner(core.TunerOptions{Remote: client})
-		if cands := warm.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
-			b.Fatal("empty sweep")
+		const keys = 64
+		ks := make([]uint64, keys)
+		ents := make([]cachewire.Entry, keys)
+		for i := range ks {
+			ks[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+			ents[i] = cachewire.Entry{PerReplica: float64(i), MaxGB: 8, Fits: true}
 		}
+		if err := client.MultiPut(ks, ents); err != nil {
+			b.Fatal(err)
+		}
+		out := make([]cachewire.Entry, keys)
+		ok := make([]bool, keys)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cold := core.NewTuner(core.TunerOptions{Remote: client})
-			if cands := cold.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
-				b.Fatal("empty sweep")
+			if err := client.MultiGet(ks, out, ok); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}))
+	// The distributed-sweep steady state: a brand-new Tuner (cold local
+	// cache, as a fresh worker process would be) sweeping a grid whose
+	// every key is already published to the TCP tier — pure wire cost, no
+	// simulations. Recorded in both remote modes on the identical
+	// workload: _repeat pins NoPrefetch (one round trip per key, the
+	// trajectory-comparable number every earlier BENCH recorded), _batched
+	// the default sweep-start-prefetch discipline (one MultiGet + one
+	// MultiPut per sweep); their ratio is the batching win.
+	remoteRepeat := func(noPrefetch bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := cachewire.NewServer(0)
+			go srv.Serve(l)
+			defer srv.Close()
+			client, err := cachewire.Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			warm := core.NewTuner(core.TunerOptions{Remote: client})
+			if cands := warm.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cold := core.NewTuner(core.TunerOptions{Remote: client, NoPrefetch: noPrefetch})
+				if cands := cold.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		}
+	}
+	add(measure("tuner_fig10_remote_tcp_repeat", remoteRepeat(true)))
+	add(measure("tuner_fig10_remote_tcp_batched", remoteRepeat(false)))
 
 	f, err := os.Create(path)
 	if err != nil {

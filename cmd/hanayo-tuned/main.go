@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	hanayo-tuned -serve -addr :7070                   # the shared cache tier
+//	hanayo-tuned -serve -addr :7070 -snapshot tier.snap   # the shared cache tier
 //	hanayo-tuned -worker -shard 0 -of 2 -remote host:7070 -o shard0.json
 //	hanayo-tuned -worker -shard 1 -of 2 -remote host:7070 -o shard1.json
-//	hanayo-tuned -merge shard0.json shard1.json       # full AutoTune ranking
+//	hanayo-tuned -merge shard0.json shard1.json           # full AutoTune ranking
 //
 // Each worker evaluates a disjoint slice of the (scheme, P, B) candidate
 // grid (SearchSpace.Shard) through its own Tuner, publishing every
@@ -19,6 +19,13 @@
 // workers, repeating a sweep — from any process, sharded or not — costs
 // zero simulations; workers report the simulations they actually issued
 // in the JSON (`sims`) and on stderr.
+//
+// The tier scales out by running several -serve processes and passing the
+// worker a comma-separated -remote list: workers hash every key onto the
+// same consistent-hash ring (replicated -replicas ways), so the fleet
+// shards one logical cache with no coordinator and survives node loss.
+// With -snapshot, a serve process restores its contents at startup and
+// writes them back on SIGINT/SIGTERM, so a tier restart stays warm.
 package main
 
 import (
@@ -28,6 +35,10 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cachewire"
@@ -40,11 +51,13 @@ func main() {
 	serve := flag.Bool("serve", false, "run the shared cache tier")
 	addr := flag.String("addr", ":7070", "listen address for -serve")
 	entries := flag.Int("entries", 0, "cache-tier entry bound for -serve (0 = 65536)")
+	snapshot := flag.String("snapshot", "", "snapshot file for -serve: restored at startup if present, written on SIGINT/SIGTERM")
 
 	worker := flag.Bool("worker", false, "run one shard of the sweep")
 	shard := flag.Int("shard", 0, "shard index for -worker (0-based)")
 	of := flag.Int("of", 1, "total shard count for -worker")
-	remote := flag.String("remote", "", "cache-tier address for -worker (host:port); empty = no shared tier")
+	remote := flag.String("remote", "", "cache-tier addresses for -worker, comma-separated (host:port,...); empty = no shared tier")
+	replicas := flag.Int("replicas", 2, "replication factor across -remote nodes (used when several are given)")
 	clName := flag.String("cluster", "tacc", "cluster preset (tacc, tc, pc, fc)")
 	devices := flag.Int("devices", 32, "cluster size")
 	modelName := flag.String("model", "bert", "model preset (bert, gpt)")
@@ -60,10 +73,10 @@ func main() {
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*addr, *entries)
+		err = runServe(*addr, *entries, *snapshot)
 	case *worker:
 		err = runWorker(workerConfig{
-			shard: *shard, of: *of, remote: *remote,
+			shard: *shard, of: *of, remote: *remote, replicas: *replicas,
 			cluster: *clName, devices: *devices, model: *modelName,
 			b: *b, rows: *rows, prune: *prune, workers: *workers, out: *out,
 		})
@@ -78,7 +91,11 @@ func main() {
 	}
 }
 
-func runServe(addr string, entries int) error {
+func runServe(addr string, entries int, snapshot string) error {
+	srv, restored, err := serverFor(snapshot, entries)
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -86,12 +103,69 @@ func runServe(addr string, entries int) error {
 	// The resolved address goes to stdout first thing: scripts (and the
 	// integration test) bind ":0" and scrape the real port from this line.
 	fmt.Printf("hanayo-tuned: cache tier listening on %s\n", l.Addr())
-	return cachewire.NewServer(entries).Serve(l)
+	if restored > 0 {
+		fmt.Printf("hanayo-tuned: restored %d entries from %s\n", restored, snapshot)
+	}
+	if snapshot != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := writeSnapshot(srv, snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "hanayo-tuned: snapshot:", err)
+			} else {
+				fmt.Printf("hanayo-tuned: snapshot of %d entries written to %s\n", srv.Len(), snapshot)
+			}
+			srv.Close() // Serve returns nil and the process exits cleanly
+		}()
+	}
+	return srv.Serve(l)
+}
+
+// serverFor builds the tier store: warm from a snapshot when one exists
+// at path, cold otherwise. A snapshot that exists but fails to restore is
+// an error, not a silent cold start — the operator asked for that state.
+func serverFor(path string, entries int) (srv *cachewire.Server, restored int, err error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err == nil {
+			defer f.Close()
+			srv, err := cachewire.NewServerFromSnapshot(f, entries)
+			if err != nil {
+				return nil, 0, fmt.Errorf("restoring %s: %w", path, err)
+			}
+			return srv, srv.Len(), nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, 0, err
+		}
+	}
+	return cachewire.NewServer(entries), 0, nil
+}
+
+// writeSnapshot writes atomically — temp file in the target directory,
+// then rename — so a crash mid-write leaves the previous snapshot intact
+// and a restart never sees a truncated file.
+func writeSnapshot(srv *cachewire.Server, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name()) // no-op after a successful rename
+	if err := srv.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 type workerConfig struct {
 	shard, of        int
 	remote           string
+	replicas         int
 	cluster          string
 	devices          int
 	model            string
@@ -184,13 +258,24 @@ func runWorker(cfg workerConfig) error {
 		return err
 	}
 	opts := core.TunerOptions{}
+	var ring *cachewire.Ring
 	if cfg.remote != "" {
-		client, err := cachewire.Dial(cfg.remote)
-		if err != nil {
-			return fmt.Errorf("cache tier: %w", err)
+		addrs := strings.Split(cfg.remote, ",")
+		if len(addrs) == 1 {
+			client, err := cachewire.Dial(addrs[0])
+			if err != nil {
+				return fmt.Errorf("cache tier: %w", err)
+			}
+			defer client.Close()
+			opts.Remote = client
+		} else {
+			ring, err = cachewire.DialRing(cfg.replicas, addrs...)
+			if err != nil {
+				return fmt.Errorf("cache tier: %w", err)
+			}
+			defer ring.Close()
+			opts.Remote = ring
 		}
-		defer client.Close()
-		opts.Remote = client
 	}
 	tuner := core.NewTuner(opts)
 	space := core.SearchSpace{
@@ -225,6 +310,13 @@ func runWorker(cfg workerConfig) error {
 	fmt.Fprintf(os.Stderr, "hanayo-tuned: shard %d/%d on %s×%d: %d candidates, %d simulations, %v (remote errors: %d)\n",
 		cfg.shard, cfg.of, cfg.cluster, cfg.devices, len(cands), sims,
 		time.Since(start).Round(time.Millisecond), tuner.RemoteErrors())
+	if ring != nil {
+		for _, ne := range ring.Errors() {
+			if ne.Errors > 0 {
+				fmt.Fprintf(os.Stderr, "hanayo-tuned: cache node %s degraded: %d errors\n", ne.Name, ne.Errors)
+			}
+		}
+	}
 	return nil
 }
 

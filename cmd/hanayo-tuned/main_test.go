@@ -33,8 +33,16 @@ func buildBinary(t *testing.T) string {
 // startServer launches the real server process on an ephemeral port and
 // scrapes the bound address from its first stdout line.
 func startServer(t *testing.T, bin string) string {
+	addr, _ := startServerCmd(t, bin)
+	return addr
+}
+
+// startServerCmd is startServer with extra flags and the process handle —
+// for tests that signal the server (snapshot shutdown) instead of just
+// killing it at cleanup.
+func startServerCmd(t *testing.T, bin string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(bin, "-serve", "-addr", "127.0.0.1:0")
+	cmd := exec.Command(bin, append([]string{"-serve", "-addr", "127.0.0.1:0"}, extra...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +69,7 @@ func startServer(t *testing.T, bin string) string {
 		if !ok || addr == "" {
 			t.Fatal("server printed no listen address")
 		}
-		return addr
+		return addr, cmd
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not come up")
 	}
@@ -207,6 +215,70 @@ func TestWorkerWithoutTier(t *testing.T) {
 	}
 	if got := toWire(core.MergeShards(parts...)); !reflect.DeepEqual(got, want) {
 		t.Fatal("tier-less merged ranking differs from AutoTune")
+	}
+}
+
+// TestSnapshotWarmRestart is the tier-durability story as real
+// processes: a server with -snapshot serves a cold sweep, SIGINT makes
+// it write its contents and exit cleanly, and a restarted server on the
+// same file serves the repeat sweep with zero simulations — the warm
+// restart a long-running fleet relies on across tier deploys.
+func TestSnapshotWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildBinary(t)
+	snap := filepath.Join(t.TempDir(), "tier.snapshot")
+	dir := t.TempDir()
+
+	addr, cmd := startServerCmd(t, bin, "-snapshot", snap)
+	cold := runWorkerProc(t, bin, addr, 0, 1, filepath.Join(dir, "cold.json"))
+	if cold.Sims == 0 {
+		t.Fatal("cold sweep against an empty tier must simulate")
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server did not exit cleanly after SIGINT: %v", err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("SIGINT left no snapshot at %s: %v", snap, err)
+	}
+
+	addr2, _ := startServerCmd(t, bin, "-snapshot", snap)
+	warm := runWorkerProc(t, bin, addr2, 0, 1, filepath.Join(dir, "warm.json"))
+	if warm.Sims != 0 {
+		t.Fatalf("sweep after warm restart issued %d simulations, want 0 (snapshot)", warm.Sims)
+	}
+	if !reflect.DeepEqual(warm.Candidates, cold.Candidates) {
+		t.Fatal("warm-restart ranking differs from the cold sweep")
+	}
+}
+
+// TestWorkerRingFlag drives the multi-node flags end to end: two tier
+// processes, a worker with a comma-separated -remote list. The cold
+// sweep fills the ring; a second worker sharing nothing but the node
+// list repeats it without simulating.
+func TestWorkerRingFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildBinary(t)
+	remote := startServer(t, bin) + "," + startServer(t, bin)
+	dir := t.TempDir()
+
+	cold := runWorkerProc(t, bin, remote, 0, 1, filepath.Join(dir, "cold.json"))
+	if cold.Sims == 0 {
+		t.Fatal("cold sweep against an empty ring must simulate")
+	}
+	warm := runWorkerProc(t, bin, remote, 0, 1, filepath.Join(dir, "warm.json"))
+	if warm.Sims != 0 {
+		t.Fatalf("ring-served repeat issued %d simulations, want 0", warm.Sims)
+	}
+	if !reflect.DeepEqual(warm.Candidates, cold.Candidates) {
+		t.Fatal("ring-served ranking differs from the cold sweep")
 	}
 }
 

@@ -92,6 +92,19 @@ type (
 	// LoopbackCache is the in-process RemoteCache for tests and
 	// single-process wiring; it still round-trips the wire codec.
 	LoopbackCache = cachewire.Loopback
+	// BatchRemoteCache is the batched seam over RemoteCache: MultiGet /
+	// MultiPut resolve whole key vectors in one frame. Every transport in
+	// this package implements it; the Tuner degrades to per-key loops for
+	// a RemoteCache that does not.
+	BatchRemoteCache = cachewire.BatchCache
+	// CacheRing replicates the tier over N nodes by client-side
+	// consistent hashing — the fleet-scale RemoteCache (see
+	// docs/ARCHITECTURE.md, "cache fabric").
+	CacheRing = cachewire.Ring
+	// CacheRingNode declares one ring member (stable name + transport).
+	CacheRingNode = cachewire.RingNode
+	// CacheNodeErrors is one ring node's failure count (CacheRing.Errors).
+	CacheNodeErrors = cachewire.NodeErrors
 )
 
 // Distributed-sweep constructors and the shard/merge pair. A worker
@@ -104,12 +117,23 @@ var (
 	DialCache        = cachewire.Dial
 	NewCacheServer   = cachewire.NewServer
 	NewLoopbackCache = cachewire.NewLoopback
+	// NewCacheRing rings existing transports; DialCacheRing dials a node
+	// address list. NewCacheServerFromSnapshot restores a tier node from a
+	// CacheServer.Snapshot stream (cmd/hanayo-tuned -snapshot).
+	NewCacheRing               = cachewire.NewRing
+	DialCacheRing              = cachewire.DialRing
+	NewCacheServerFromSnapshot = cachewire.NewServerFromSnapshot
 )
 
 // SimRuns reports the process-wide count of discrete-event simulations
 // issued through plan evaluation — the observability hook behind every
 // "repeat sweeps cost zero simulations" guarantee.
 var SimRuns = core.SimRuns
+
+// CacheFrames reports the process-wide count of cache-tier round trips
+// (frames) — SimRuns' transport-level sibling, behind every "a batched
+// sweep costs O(1) round trips" guarantee.
+var CacheFrames = cachewire.Frames
 
 // Schedules (paper §3–§4.1).
 type (

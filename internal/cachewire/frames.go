@@ -1,0 +1,135 @@
+package cachewire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Batched frames extend the per-key protocol with length-prefixed key
+// and entry vectors, so one round trip carries a whole sweep's key set:
+//
+//	op(1)=opMultiGet count(4) key(8)×count
+//	op(1)=opMultiPut count(4) (key(8) entry(18))×count
+//
+// and the responses are
+//
+//	status(1)=statusMulti count(4) (present(1) [entry(18)])×count
+//	status(1)=statusOK
+//
+// count is a little-endian uint32 echoed back verbatim in the MultiGet
+// response, and present is strictly 0 or 1. The decode discipline is
+// DecodeEntry's, lifted to vectors: both edges reject counts above
+// MaxBatch, count skew between request and response, unknown present
+// markers and any entry DecodeEntry rejects — and a MultiPut frame is
+// validated whole before any of it is stored, so a version-skewed or
+// truncated publisher never half-applies a batch.
+const (
+	opMultiGet = 3
+	opMultiPut = 4
+
+	statusMulti = 3
+)
+
+// MaxBatch bounds the key count of one batched frame. Both edges reject
+// larger counts before reading the payload, so a corrupt or hostile
+// length prefix cannot make a peer allocate unbounded memory. Client
+// MultiGet/MultiPut split larger vectors into MaxBatch-sized frames
+// transparently.
+const MaxBatch = 1 << 16
+
+// frames counts client-side cache round trips process-wide: one per
+// Get/Put exchange and one per MultiGet/MultiPut frame, on both the TCP
+// Client and the Loopback stand-in. It is the observability hook behind
+// the batching guarantee — a repeat sweep with prefetch must cost O(1)
+// frames per shard, not O(cells) — mirroring what core.SimRuns does for
+// simulations.
+var frames atomic.Int64
+
+// Frames reports the process-wide count of cache round trips issued by
+// client-side transports. Tests assert deltas of this counter.
+func Frames() int64 { return frames.Load() }
+
+// BatchCache is the batched extension of the Cache seam. MultiGet
+// resolves keys[i] into out[i] (ok[i] reports a hit); MultiPut publishes
+// all pairs. Both vectors must be pre-sized by the caller to len(keys).
+// Implementations must be safe for concurrent use and must not
+// half-apply a batch they reject as malformed.
+type BatchCache interface {
+	Cache
+	MultiGet(keys []uint64, out []Entry, ok []bool) error
+	MultiPut(keys []uint64, entries []Entry) error
+}
+
+// GetBatch resolves keys through c in one batched round trip when c
+// implements BatchCache, degrading to a per-key Get loop for plain Cache
+// implementations. On error the filled prefix of out/ok is valid; the
+// caller treats the rest as misses.
+func GetBatch(c Cache, keys []uint64, out []Entry, ok []bool) error {
+	if len(out) != len(keys) || len(ok) != len(keys) {
+		return fmt.Errorf("cachewire: batch get vectors disagree: %d keys, %d entries, %d oks",
+			len(keys), len(out), len(ok))
+	}
+	if b, batched := c.(BatchCache); batched {
+		return b.MultiGet(keys, out, ok)
+	}
+	for i, k := range keys {
+		e, hit, err := c.Get(k)
+		if err != nil {
+			return err
+		}
+		out[i], ok[i] = e, hit
+	}
+	return nil
+}
+
+// PutBatch publishes all pairs through c in one batched round trip when
+// c implements BatchCache, degrading to a per-key Put loop otherwise.
+func PutBatch(c Cache, keys []uint64, entries []Entry) error {
+	if len(entries) != len(keys) {
+		return fmt.Errorf("cachewire: batch put vectors disagree: %d keys, %d entries",
+			len(keys), len(entries))
+	}
+	if b, batched := c.(BatchCache); batched {
+		return b.MultiPut(keys, entries)
+	}
+	for i, k := range keys {
+		if err := c.Put(k, entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendMultiGetRequest appends the MultiGet request frame for keys.
+// len(keys) must not exceed MaxBatch (callers chunk).
+func appendMultiGetRequest(dst []byte, keys []uint64) []byte {
+	dst = append(dst, opMultiGet)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
+// appendMultiPutRequest appends the MultiPut request frame for the
+// key/entry pairs. len(keys) must not exceed MaxBatch (callers chunk).
+func appendMultiPutRequest(dst []byte, keys []uint64, entries []Entry) []byte {
+	dst = append(dst, opMultiPut)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for i, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+		dst = AppendEntry(dst, entries[i])
+	}
+	return dst
+}
+
+// grow returns b resized to n bytes, reallocating only when the capacity
+// is short — the buffer-reuse primitive behind the zero-allocation
+// steady state of pooled connections and server handlers.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

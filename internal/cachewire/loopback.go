@@ -1,6 +1,7 @@
 package cachewire
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/lru"
@@ -41,6 +42,35 @@ func (s *store) len() int {
 	return s.m.Len()
 }
 
+// appendMultiGet appends the MultiGet response body for keys — a present
+// marker per key, the encoded entry behind each hit — under a single
+// lock acquisition, so one batched frame costs one store lock however
+// many keys it carries.
+func (s *store) appendMultiGet(dst []byte, keys []uint64) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		e, ok := s.m.Get(k)
+		if !ok {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = AppendEntry(dst, e)
+	}
+	return dst
+}
+
+// putBatch stores all pairs under a single lock acquisition. Callers
+// validate the whole batch first: nothing here can fail halfway.
+func (s *store) putBatch(keys []uint64, ents []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		s.m.Put(k, ents[i])
+	}
+}
+
 // Loopback is the in-process Cache implementation: the same bounded LRU
 // store the TCP Server fronts, minus the network. It exists so tests and
 // single-process deployments can exercise the Tuner's remote-tier code
@@ -58,8 +88,10 @@ func NewLoopback(entries int) *Loopback {
 }
 
 // Get implements Cache, round-tripping the hit through the wire codec
-// exactly as a TCP client would decode it off the socket.
+// exactly as a TCP client would decode it off the socket. It counts one
+// frame, as the TCP exchange it stands in for would.
 func (l *Loopback) Get(key uint64) (Entry, bool, error) {
+	frames.Add(1)
 	e, ok := l.s.get(key)
 	if !ok {
 		return Entry{}, false, nil
@@ -74,11 +106,62 @@ func (l *Loopback) Get(key uint64) (Entry, bool, error) {
 // Put implements Cache. The entry is round-tripped through the wire codec
 // so the loopback tier faithfully stands in for the TCP one.
 func (l *Loopback) Put(key uint64, e Entry) error {
+	frames.Add(1)
 	dec, err := DecodeEntry(AppendEntry(nil, e))
 	if err != nil {
 		return err
 	}
 	l.s.put(key, dec)
+	return nil
+}
+
+// MultiGet implements BatchCache: the whole vector resolves in what the
+// TCP transport would make one frame (counted as such), each hit
+// round-tripped through the wire codec like a per-key Get.
+func (l *Loopback) MultiGet(keys []uint64, out []Entry, ok []bool) error {
+	if len(out) != len(keys) || len(ok) != len(keys) {
+		return fmt.Errorf("cachewire: batch get vectors disagree: %d keys, %d entries, %d oks",
+			len(keys), len(out), len(ok))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	frames.Add(1)
+	for i, k := range keys {
+		e, hit := l.s.get(k)
+		if !hit {
+			ok[i] = false
+			continue
+		}
+		dec, err := DecodeEntry(AppendEntry(nil, e))
+		if err != nil {
+			return err
+		}
+		out[i], ok[i] = dec, true
+	}
+	return nil
+}
+
+// MultiPut implements BatchCache with the Server's reject-whole-frame
+// discipline: every entry is codec-validated before any is stored.
+func (l *Loopback) MultiPut(keys []uint64, entries []Entry) error {
+	if len(entries) != len(keys) {
+		return fmt.Errorf("cachewire: batch put vectors disagree: %d keys, %d entries",
+			len(keys), len(entries))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	frames.Add(1)
+	dec := make([]Entry, len(entries))
+	for i, e := range entries {
+		d, err := DecodeEntry(AppendEntry(nil, e))
+		if err != nil {
+			return err
+		}
+		dec[i] = d
+	}
+	l.s.putBatch(keys, dec)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cachewire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,22 +11,24 @@ import (
 	"time"
 )
 
-// The TCP protocol is as fixed-width as the entry codec. Every request is
+// The TCP protocol is as fixed-width as the entry codec. Per-key
+// requests are
 //
 //	op(1) key(8)            — opGet
 //	op(1) key(8) entry(18)  — opPut
 //
-// and every response is
+// and their responses are
 //
 //	status(1)               — statusMiss / statusOK
 //	status(1) entry(18)     — statusHit
 //
-// The framing is version-free; the entry payload carries the version
-// byte, and BOTH edges enforce it: the server rejects (and hangs up on)
-// puts it cannot decode, and the client rejects hits it cannot decode.
-// A version-skewed peer therefore never pollutes the store or a ranking —
-// its publishes are dropped and its probes miss, degrading a mixed
-// fleet's hit rate until it converges on one build.
+// (batched frames are documented in frames.go). The framing is
+// version-free; the entry payload carries the version byte, and BOTH
+// edges enforce it: the server rejects (and hangs up on) puts it cannot
+// decode, and the client rejects hits it cannot decode. A version-skewed
+// peer therefore never pollutes the store or a ranking — its publishes
+// are dropped and its probes miss, degrading a mixed fleet's hit rate
+// until it converges on one build.
 const (
 	opGet = 1
 	opPut = 2
@@ -36,7 +39,8 @@ const (
 )
 
 // Server serves the cache protocol over TCP, backed by a bounded LRU
-// store. Construct with NewServer, then Serve an accepted listener.
+// store. Construct with NewServer (or NewServerFromSnapshot), then Serve
+// an accepted listener.
 type Server struct {
 	s *store
 
@@ -114,17 +118,29 @@ func (sv *Server) handle(conn net.Conn) {
 		delete(sv.conns, conn)
 		sv.mu.Unlock()
 	}()
-	var hdr [9]byte // op + key
+	// All per-connection scratch lives here and is reused across the
+	// request stream: the read side is buffered so multi-part frames cost
+	// one syscall, batch payloads grow buf once and keep it, and the
+	// steady-state serving path allocates nothing per request.
+	br := bufio.NewReaderSize(conn, 1<<12)
+	var hdr [8]byte // key of a per-key request
 	var entry [EntrySize]byte
 	var resp [1 + EntrySize]byte
+	var cnt [4]byte
+	var keys []uint64
+	var ents []Entry
+	var buf []byte // batch payload in, batch response out
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		op, err := br.ReadByte()
+		if err != nil {
 			return // EOF between requests is the normal hang-up
 		}
-		key := binary.LittleEndian.Uint64(hdr[1:])
-		switch hdr[0] {
+		switch op {
 		case opGet:
-			e, ok := sv.s.get(key)
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			e, ok := sv.s.get(binary.LittleEndian.Uint64(hdr[:]))
 			if !ok {
 				resp[0] = statusMiss
 				if _, err := conn.Write(resp[:1]); err != nil {
@@ -137,14 +153,75 @@ func (sv *Server) handle(conn net.Conn) {
 				return
 			}
 		case opPut:
-			if _, err := io.ReadFull(conn, entry[:]); err != nil {
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			if _, err := io.ReadFull(br, entry[:]); err != nil {
 				return
 			}
 			e, err := DecodeEntry(entry[:])
 			if err != nil {
 				return // version-skewed or corrupt publisher: drop the conn
 			}
-			sv.s.put(key, e)
+			sv.s.put(binary.LittleEndian.Uint64(hdr[:]), e)
+			resp[0] = statusOK
+			if _, err := conn.Write(resp[:1]); err != nil {
+				return
+			}
+		case opMultiGet:
+			if _, err := io.ReadFull(br, cnt[:]); err != nil {
+				return
+			}
+			n := binary.LittleEndian.Uint32(cnt[:])
+			if n > MaxBatch {
+				return // oversize count: reject before reading the payload
+			}
+			need := int(n) * 8
+			buf = grow(buf, need)
+			if _, err := io.ReadFull(br, buf[:need]); err != nil {
+				return
+			}
+			keys = keys[:0]
+			for i := 0; i < int(n); i++ {
+				keys = append(keys, binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			// The keys are copied out, so buf can turn around and carry
+			// the response: status, echoed count, then a present marker
+			// per key with the entry behind each hit.
+			buf = append(buf[:0], statusMulti)
+			buf = append(buf, cnt[:]...)
+			buf = sv.s.appendMultiGet(buf, keys)
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		case opMultiPut:
+			if _, err := io.ReadFull(br, cnt[:]); err != nil {
+				return
+			}
+			n := binary.LittleEndian.Uint32(cnt[:])
+			if n > MaxBatch {
+				return
+			}
+			const rec = 8 + EntrySize
+			need := int(n) * rec
+			buf = grow(buf, need)
+			if _, err := io.ReadFull(br, buf[:need]); err != nil {
+				return
+			}
+			// Validate the whole vector before storing any of it: a batch
+			// with one skewed entry is rejected as a unit and the conn
+			// dropped, exactly like a malformed per-key put.
+			keys, ents = keys[:0], ents[:0]
+			for i := 0; i < int(n); i++ {
+				off := i * rec
+				e, err := DecodeEntry(buf[off+8 : off+rec])
+				if err != nil {
+					return
+				}
+				keys = append(keys, binary.LittleEndian.Uint64(buf[off:]))
+				ents = append(ents, e)
+			}
+			sv.s.putBatch(keys, ents)
 			resp[0] = statusOK
 			if _, err := conn.Write(resp[:1]); err != nil {
 				return
@@ -155,9 +232,11 @@ func (sv *Server) handle(conn net.Conn) {
 	}
 }
 
-// Client is a Cache backed by a remote Server. It keeps a small free list
-// of connections so concurrent sweep workers don't serialize on one
-// socket; a connection that sees any I/O or protocol error is discarded
+// Client is a Cache (and BatchCache) backed by a remote Server. It keeps
+// a small free list of connections so concurrent sweep workers don't
+// serialize on one socket; each pooled connection owns its request
+// buffer and buffered reader, so steady-state round trips allocate
+// nothing. A connection that sees any I/O or protocol error is discarded
 // and the next request dials a fresh one, so a restarted server heals
 // transparently. Every dial and round trip carries a deadline — a
 // black-holed tier (partition, silent packet drop) surfaces as a counted
@@ -167,7 +246,22 @@ func (sv *Server) handle(conn net.Conn) {
 type Client struct {
 	addr string
 	mu   sync.Mutex
-	free []net.Conn
+	free []*pconn
+}
+
+// pconn is one pooled connection with its owned I/O state: buf builds
+// every request and receives every fixed-width response chunk, and br
+// buffers reads so a multi-part response costs one syscall. Both live
+// exactly as long as the connection, which is what makes Get/Put
+// allocation-free in the steady state.
+type pconn struct {
+	c   net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
+func newPconn(c net.Conn) *pconn {
+	return &pconn{c: c, br: bufio.NewReaderSize(c, 1<<12), buf: make([]byte, 0, 64)}
 }
 
 // opTimeout bounds one dial or one request/response exchange. Requests
@@ -182,103 +276,215 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cachewire: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, free: []net.Conn{conn}}, nil
+	return &Client{addr: addr, free: []*pconn{newPconn(conn)}}, nil
 }
 
-func (c *Client) checkout() (net.Conn, error) {
+func (c *Client) checkout() (*pconn, error) {
 	c.mu.Lock()
 	if n := len(c.free); n > 0 {
-		conn := c.free[n-1]
+		p := c.free[n-1]
 		c.free = c.free[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		return p, nil
 	}
 	c.mu.Unlock()
-	return net.DialTimeout("tcp", c.addr, opTimeout)
-}
-
-func (c *Client) checkin(conn net.Conn) {
-	c.mu.Lock()
-	c.free = append(c.free, conn)
-	c.mu.Unlock()
-}
-
-// roundTrip writes req and reads want response bytes into resp on a
-// pooled connection. The connection returns to the pool only after a
-// fully clean exchange.
-func (c *Client) roundTrip(req []byte, resp []byte) error {
-	conn, err := c.checkout()
+	conn, err := net.DialTimeout("tcp", c.addr, opTimeout)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(opTimeout))
-	if _, err := conn.Write(req); err != nil {
-		conn.Close()
-		return err
-	}
-	if _, err := io.ReadFull(conn, resp); err != nil {
-		conn.Close()
-		return err
-	}
-	c.checkin(conn)
-	return nil
+	return newPconn(conn), nil
+}
+
+func (c *Client) checkin(p *pconn) {
+	c.mu.Lock()
+	c.free = append(c.free, p)
+	c.mu.Unlock()
 }
 
 // Get implements Cache.
 func (c *Client) Get(key uint64) (Entry, bool, error) {
-	var req [9]byte
-	req[0] = opGet
-	binary.LittleEndian.PutUint64(req[1:], key)
-	// Read the status byte alone first: a miss response carries no entry.
-	conn, err := c.checkout()
+	p, err := c.checkout()
 	if err != nil {
 		return Entry{}, false, err
 	}
-	conn.SetDeadline(time.Now().Add(opTimeout))
-	if _, err := conn.Write(req[:]); err != nil {
-		conn.Close()
+	p.c.SetDeadline(time.Now().Add(opTimeout))
+	p.buf = append(p.buf[:0], opGet)
+	p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
+	frames.Add(1)
+	if _, err := p.c.Write(p.buf); err != nil {
+		p.c.Close()
 		return Entry{}, false, err
 	}
-	var status [1]byte
-	if _, err := io.ReadFull(conn, status[:]); err != nil {
-		conn.Close()
+	status, err := p.br.ReadByte()
+	if err != nil {
+		p.c.Close()
 		return Entry{}, false, err
 	}
-	switch status[0] {
+	switch status {
 	case statusMiss:
-		c.checkin(conn)
+		c.checkin(p)
 		return Entry{}, false, nil
 	case statusHit:
-		var buf [EntrySize]byte
-		if _, err := io.ReadFull(conn, buf[:]); err != nil {
-			conn.Close()
+		p.buf = grow(p.buf, EntrySize)
+		if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
+			p.c.Close()
 			return Entry{}, false, err
 		}
-		c.checkin(conn)
-		e, err := DecodeEntry(buf[:])
+		e, err := DecodeEntry(p.buf[:EntrySize])
 		if err != nil {
+			p.c.Close()
 			return Entry{}, false, err
 		}
+		c.checkin(p)
 		return e, true, nil
 	default:
-		conn.Close()
-		return Entry{}, false, fmt.Errorf("cachewire: unexpected get status %d", status[0])
+		p.c.Close()
+		return Entry{}, false, fmt.Errorf("cachewire: unexpected get status %d", status)
 	}
 }
 
 // Put implements Cache.
 func (c *Client) Put(key uint64, e Entry) error {
-	req := make([]byte, 0, 9+EntrySize)
-	req = append(req, opPut)
-	req = binary.LittleEndian.AppendUint64(req, key)
-	req = AppendEntry(req, e)
-	var status [1]byte
-	if err := c.roundTrip(req, status[:]); err != nil {
+	p, err := c.checkout()
+	if err != nil {
 		return err
 	}
-	if status[0] != statusOK {
-		return fmt.Errorf("cachewire: unexpected put status %d", status[0])
+	p.c.SetDeadline(time.Now().Add(opTimeout))
+	p.buf = append(p.buf[:0], opPut)
+	p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
+	p.buf = AppendEntry(p.buf, e)
+	frames.Add(1)
+	if _, err := p.c.Write(p.buf); err != nil {
+		p.c.Close()
+		return err
 	}
+	status, err := p.br.ReadByte()
+	if err != nil {
+		p.c.Close()
+		return err
+	}
+	if status != statusOK {
+		p.c.Close()
+		return fmt.Errorf("cachewire: unexpected put status %d", status)
+	}
+	c.checkin(p)
+	return nil
+}
+
+// MultiGet implements BatchCache: one round trip resolves the whole key
+// vector (chunked transparently at MaxBatch). The response is validated
+// with the same strictness as a per-key hit — count skew against the
+// request, unknown present markers and undecodable entries all poison
+// the connection and surface as one error.
+func (c *Client) MultiGet(keys []uint64, out []Entry, ok []bool) error {
+	if len(out) != len(keys) || len(ok) != len(keys) {
+		return fmt.Errorf("cachewire: batch get vectors disagree: %d keys, %d entries, %d oks",
+			len(keys), len(out), len(ok))
+	}
+	for i := range ok {
+		ok[i] = false
+	}
+	for start := 0; start < len(keys); start += MaxBatch {
+		end := min(start+MaxBatch, len(keys))
+		if err := c.multiGet(keys[start:end], out[start:end], ok[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) multiGet(keys []uint64, out []Entry, ok []bool) error {
+	p, err := c.checkout()
+	if err != nil {
+		return err
+	}
+	p.c.SetDeadline(time.Now().Add(opTimeout))
+	p.buf = appendMultiGetRequest(p.buf[:0], keys)
+	frames.Add(1)
+	if _, err := p.c.Write(p.buf); err != nil {
+		p.c.Close()
+		return err
+	}
+	p.buf = grow(p.buf, 5) // status + echoed count
+	if _, err := io.ReadFull(p.br, p.buf[:5]); err != nil {
+		p.c.Close()
+		return err
+	}
+	if p.buf[0] != statusMulti {
+		p.c.Close()
+		return fmt.Errorf("cachewire: unexpected multiget status %d", p.buf[0])
+	}
+	if n := binary.LittleEndian.Uint32(p.buf[1:5]); int(n) != len(keys) {
+		p.c.Close()
+		return fmt.Errorf("cachewire: multiget response carries %d keys, want %d", n, len(keys))
+	}
+	for i := range keys {
+		marker, err := p.br.ReadByte()
+		if err != nil {
+			p.c.Close()
+			return err
+		}
+		switch marker {
+		case 0:
+		case 1:
+			p.buf = grow(p.buf, EntrySize)
+			if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
+				p.c.Close()
+				return err
+			}
+			e, err := DecodeEntry(p.buf[:EntrySize])
+			if err != nil {
+				p.c.Close()
+				return err
+			}
+			out[i], ok[i] = e, true
+		default:
+			p.c.Close()
+			return fmt.Errorf("cachewire: unknown multiget marker %d", marker)
+		}
+	}
+	c.checkin(p)
+	return nil
+}
+
+// MultiPut implements BatchCache: one round trip publishes the whole
+// vector (chunked transparently at MaxBatch).
+func (c *Client) MultiPut(keys []uint64, entries []Entry) error {
+	if len(entries) != len(keys) {
+		return fmt.Errorf("cachewire: batch put vectors disagree: %d keys, %d entries",
+			len(keys), len(entries))
+	}
+	for start := 0; start < len(keys); start += MaxBatch {
+		end := min(start+MaxBatch, len(keys))
+		if err := c.multiPut(keys[start:end], entries[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) multiPut(keys []uint64, entries []Entry) error {
+	p, err := c.checkout()
+	if err != nil {
+		return err
+	}
+	p.c.SetDeadline(time.Now().Add(opTimeout))
+	p.buf = appendMultiPutRequest(p.buf[:0], keys, entries)
+	frames.Add(1)
+	if _, err := p.c.Write(p.buf); err != nil {
+		p.c.Close()
+		return err
+	}
+	status, err := p.br.ReadByte()
+	if err != nil {
+		p.c.Close()
+		return err
+	}
+	if status != statusOK {
+		p.c.Close()
+		return fmt.Errorf("cachewire: unexpected multiput status %d", status)
+	}
+	c.checkin(p)
 	return nil
 }
 
@@ -286,8 +492,8 @@ func (c *Client) Put(key uint64, e Entry) error {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, conn := range c.free {
-		conn.Close()
+	for _, p := range c.free {
+		p.c.Close()
 	}
 	c.free = nil
 	return nil

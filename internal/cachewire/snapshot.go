@@ -1,0 +1,88 @@
+package cachewire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// A snapshot is the store's LRU contents, framed with the same strict
+// fixed-width discipline as the wire:
+//
+//	magic(8) = "HCSNAP" '0'+Version '\n'
+//	count(8, little-endian)
+//	count × (key(8) entry(EntrySize))
+//
+// Records run least recently used first, so restoring them through Put
+// in order reproduces recency — a restored node under a tighter bound
+// keeps its most recent entries, exactly what eviction would have kept.
+// The codec version is baked into the magic AND into every entry's
+// leading byte, so a version-skewed snapshot fails loudly at restore
+// instead of seeding a store with reinterpreted bytes.
+
+// snapMagic is the 8-byte snapshot header for this build's wire version.
+func snapMagic() [8]byte {
+	return [8]byte{'H', 'C', 'S', 'N', 'A', 'P', '0' + Version, '\n'}
+}
+
+// Snapshot writes the server's current contents to w. The store is
+// locked for the duration — puts racing a shutdown snapshot either land
+// before it (and are captured) or after (and are lost with the process),
+// never half-written.
+func (sv *Server) Snapshot(w io.Writer) error {
+	return sv.s.snapshot(w)
+}
+
+func (s *store) snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	magic := snapMagic()
+	bw.Write(magic[:])
+	var rec [8 + EntrySize]byte
+	binary.LittleEndian.PutUint64(rec[:8], uint64(s.m.Len()))
+	bw.Write(rec[:8])
+	s.m.Each(func(k uint64, e Entry) {
+		binary.LittleEndian.PutUint64(rec[:8], k)
+		bw.Write(AppendEntry(rec[:8], e))
+	})
+	return bw.Flush() // Flush surfaces any earlier buffered-write error
+}
+
+// NewServerFromSnapshot builds a server bounded to entries (0 → 65536)
+// and seeds it from a snapshot written by Snapshot. Decoding is strict:
+// wrong magic (including version skew), truncation mid-record, an entry
+// DecodeEntry rejects, or trailing bytes after the declared count all
+// fail restore — a node rejoins warm with exactly what was saved, or
+// cold with an explicit error, never with a partial or reinterpreted
+// store.
+func NewServerFromSnapshot(r io.Reader, entries int) (*Server, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cachewire: snapshot header: %w", err)
+	}
+	magic := snapMagic()
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("cachewire: not a version-%d cache snapshot (magic %q)", Version, hdr[:8])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	sv := NewServer(entries)
+	var rec [8 + EntrySize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("cachewire: snapshot truncated at record %d of %d: %w", i, count, err)
+		}
+		e, err := DecodeEntry(rec[8:])
+		if err != nil {
+			return nil, fmt.Errorf("cachewire: snapshot record %d: %w", i, err)
+		}
+		sv.s.put(binary.LittleEndian.Uint64(rec[:8]), e)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("cachewire: snapshot carries trailing bytes after %d records", count)
+	}
+	return sv, nil
+}

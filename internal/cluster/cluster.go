@@ -7,8 +7,8 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"sync"
 )
 
 // GPU describes one accelerator.
@@ -28,6 +28,9 @@ type Cluster struct {
 	// latS[i][j] is one-way latency in seconds.
 	bwGBs [][]float64
 	latS  [][]float64
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // N returns the device count.
@@ -47,36 +50,59 @@ func (c *Cluster) CommTime(i, j int, bytes float64) float64 {
 	return c.latS[i][j] + bytes/(c.bwGBs[i][j]*1e9)
 }
 
+// FNV-64a, hand-rolled: the matrices make a fingerprint O(N²) eight-byte
+// writes, and hash/fnv pays an interface dispatch plus a bounds-checked
+// loop per Write. Folding bytes into a local accumulator produces the
+// identical digest (same algorithm, same little-endian byte stream) at a
+// fraction of the cost.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	h = fnvU64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
 // Fingerprint returns a stable hash of everything an evaluation reads
 // from the cluster — name, every device's memory/compute/placement, and
 // the full bandwidth/latency matrices. Two clusters with equal
 // fingerprints are interchangeable as simulation inputs, which is what
 // lets a tuning service key cached evaluations across independently
 // constructed Cluster values (each call to a preset builds a fresh one).
+// The digest is computed once and memoized — the matrices are O(N²) to
+// hash and every sweep asks — so a Cluster must not be modified after
+// its first Fingerprint call.
 func (c *Cluster) Fingerprint() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u64 := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	c.fpOnce.Do(func() { c.fp = c.fingerprint() })
+	return c.fp
+}
+
+func (c *Cluster) fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	f64 := func(v float64) { h = fnvU64(h, math.Float64bits(v)) }
 	// Strings are length-prefixed so field boundaries stay unambiguous in
 	// the byte stream (Name "ab"+"c…" must not collide with "abc"+"…").
-	str := func(s string) {
-		u64(uint64(len(s)))
-		h.Write([]byte(s))
-	}
-	str(c.Name)
-	u64(uint64(len(c.Devices)))
+	h = fnvStr(h, c.Name)
+	h = fnvU64(h, uint64(len(c.Devices)))
 	for _, g := range c.Devices {
-		str(g.Name)
+		h = fnvStr(h, g.Name)
 		f64(g.MemGB)
 		f64(g.TFLOPS)
-		u64(uint64(int64(g.NodeID)))
-		u64(uint64(int64(g.SocketID)))
+		h = fnvU64(h, uint64(int64(g.NodeID)))
+		h = fnvU64(h, uint64(int64(g.SocketID)))
 	}
 	for i := range c.bwGBs {
 		for j := range c.bwGBs[i] {
@@ -84,7 +110,7 @@ func (c *Cluster) Fingerprint() uint64 {
 			f64(c.latS[i][j])
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // MemBytes returns device i's usable memory in bytes.

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -117,5 +119,49 @@ func TestFingerprint(t *testing.T) {
 	c.Devices[2].MemGB = 16
 	if a.Fingerprint() == c.Fingerprint() {
 		t.Fatal("a changed device must change the fingerprint")
+	}
+}
+
+// TestFingerprintMatchesLibraryFNV pins the hand-rolled FNV fold against
+// hash/fnv over the identical byte stream: the fingerprint is the shard
+// of every cross-process cache key, so the optimized fold must never
+// drift from what earlier builds published to a shared tier.
+func TestFingerprintMatchesLibraryFNV(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		u64 := func(v uint64) {
+			for i := range buf {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		f64 := func(v float64) { u64(math.Float64bits(v)) }
+		str := func(s string) {
+			u64(uint64(len(s)))
+			h.Write([]byte(s))
+		}
+		str(c.Name)
+		u64(uint64(len(c.Devices)))
+		for _, g := range c.Devices {
+			str(g.Name)
+			f64(g.MemGB)
+			f64(g.TFLOPS)
+			u64(uint64(int64(g.NodeID)))
+			u64(uint64(int64(g.SocketID)))
+		}
+		for i := range c.bwGBs {
+			for j := range c.bwGBs[i] {
+				f64(c.bwGBs[i][j])
+				f64(c.latS[i][j])
+			}
+		}
+		if got, want := c.Fingerprint(), h.Sum64(); got != want {
+			t.Fatalf("%s: hand-rolled fingerprint %#x != hash/fnv %#x", name, got, want)
+		}
 	}
 }

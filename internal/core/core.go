@@ -521,8 +521,13 @@ func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*ev
 // only after both cache tiers and the in-flight table miss — cache hits,
 // flight followers and workers waiting on another builder's per-sweep
 // Once never pin a pool slot. clusterFP is the sweep-constant cluster
-// fingerprint (computed once per sweep, not per key).
-func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) (*evalShared, error) {
+// fingerprint (computed once per sweep, not per key). sr is the sweep's
+// batched remote window (nil without a remote tier or with NoPrefetch):
+// when present, the sweep-start MultiGet has already probed every key of
+// this grid, so a miss skips the per-key remote probe and fresh results
+// queue for the end-of-sweep flush instead of paying one put round trip
+// each.
+func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64, sr *sweepRemote) (*evalShared, error) {
 	if t == nil {
 		s, err := plan.scheduleWith(own.gen)
 		if err != nil {
@@ -534,6 +539,14 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 	hk := gk.hash() // one digest routes both cache tiers and the wire
 	if ent, ok := t.cache.get(gk, hk); ok {
 		return ent.toShared(), nil
+	}
+	if sr != nil {
+		if ent, ok := sr.hits[hk]; ok {
+			// Prefetched at sweep start (or pinned from a local hit that
+			// the LRU has since evicted): reseed the cache and serve.
+			t.cache.put(gk, hk, ent)
+			return ent.toShared(), nil
+		}
 	}
 	f, leader := t.join(gk)
 	if !leader {
@@ -547,16 +560,20 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 		return f.ent.toShared(), nil
 	}
 	defer t.land(gk, f)
-	// The leader probes the cross-process tier before paying for a
-	// simulation: a hit published by another worker process (a shard
-	// peer, or an earlier run) short-circuits exactly like a local hit
-	// and is copied into the local cache for the next lookup. Followers
-	// piggyback on this probe through the flight, so one sweep issues at
-	// most one remote get per key.
-	if ent, ok := t.remoteGet(hk); ok {
-		f.ent = ent
-		t.cache.put(gk, hk, ent)
-		return ent.toShared(), nil
+	// On the per-key path the leader probes the cross-process tier before
+	// paying for a simulation: a hit published by another worker process
+	// (a shard peer, or an earlier run) short-circuits exactly like a
+	// local hit and is copied into the local cache for the next lookup.
+	// Followers piggyback on this probe through the flight, so one sweep
+	// issues at most one remote get per key. Under a sweepRemote the
+	// sweep-start MultiGet already made this exact probe — repeating it
+	// per key would pay back the round trips batching just saved.
+	if sr == nil {
+		if ent, ok := t.remoteGet(hk); ok {
+			f.ent = ent
+			t.cache.put(gk, hk, ent)
+			return ent.toShared(), nil
+		}
 	}
 	// Generation happens on the pooled evaluator's Generator, so the
 	// checkout now covers the whole measurement (compile + replay + sim) —
@@ -575,7 +592,11 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64) 
 	}
 	f.ent = tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
 	t.cache.put(gk, hk, f.ent)
-	t.remotePut(hk, f.ent)
+	if sr != nil {
+		sr.publish(hk, f.ent)
+	} else {
+		t.remotePut(hk, f.ent)
+	}
 	return es, nil
 }
 
@@ -692,8 +713,40 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 	if t != nil {
 		clusterFP = cl.Fingerprint() // sweep-constant: hash the matrices once
 	}
+
+	// With a remote tier, resolve the whole shard against it up front:
+	// the task layout above IS the deterministic key enumeration, so one
+	// MultiGet replaces the per-key probes every worker would otherwise
+	// issue at its miss — O(cells) round trips become one prefetch here
+	// plus one flush after the pool drains, whatever the grid size.
+	var sr *sweepRemote
+	if t != nil && t.remote != nil && !t.noPrefetch {
+		sr = &sweepRemote{t: t, hits: map[uint64]tunerEntry{}}
+		seen := make(map[uint64]struct{}, len(tasks))
+		var gks []tunerKey
+		var hks []uint64
+		for _, tk := range tasks {
+			gk := keyFor(tk.plan, space.Prune, clusterFP)
+			hk := gk.hash()
+			if _, dup := seen[hk]; dup {
+				continue
+			}
+			seen[hk] = struct{}{}
+			if ent, ok := t.cache.get(gk, hk); ok {
+				// Already local: pin it for the sweep so an eviction
+				// between now and the worker's lookup cannot force a
+				// re-simulation.
+				sr.hits[hk] = ent
+				continue
+			}
+			gks = append(gks, gk)
+			hks = append(hks, hk)
+		}
+		sr.prefetch(gks, hks)
+	}
+
 	measured := make([]Candidate, len(tasks))
-	feed := make(chan int)
+	feed := make(chan int, len(tasks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -706,7 +759,7 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 			for i := range feed {
 				plan := tasks[i].plan
 				es, err := cache.evalFor(schedKey{plan.Scheme, plan.P, plan.B},
-					func() (*evalShared, error) { return evalKey(plan, own, space.Prune, t, clusterFP) })
+					func() (*evalShared, error) { return evalKey(plan, own, space.Prune, t, clusterFP, sr) })
 				measured[i] = candidateFrom(plan, es, err)
 			}
 		}()
@@ -716,6 +769,9 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 	}
 	close(feed)
 	wg.Wait()
+	if sr != nil {
+		sr.flush()
+	}
 
 	// Reduce in grid order, exactly as the serial sweep: per (P, D) the
 	// regular candidates pass through, then the wave group contributes its

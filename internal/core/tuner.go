@@ -16,7 +16,6 @@
 package core
 
 import (
-	"hash/fnv"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -45,16 +44,25 @@ type TunerOptions struct {
 	// single-process. Remote errors never fail a sweep — a Get error is a
 	// miss, a Put error a dropped publish (counted by RemoteErrors).
 	Remote cachewire.Cache
+	// NoPrefetch disables the batched remote discipline — the sweep-start
+	// MultiGet over the grid's deterministic key set and the end-of-sweep
+	// MultiPut of fresh evaluations — reverting every remote operation to
+	// one per-key round trip at the moment of each miss. The per-key path
+	// stays load-bearing for measurement (the benchmark suite records the
+	// batched and per-key repeat sweeps side by side) and as the
+	// conservative mode against a tier that predates batched frames.
+	NoPrefetch bool
 }
 
 // Tuner serves AutoTune sweeps over a bounded evaluator pool with a
 // cross-sweep evaluation cache. Safe for concurrent use; construct once
 // and share.
 type Tuner struct {
-	pool   chan *evaluator
-	cache  *tunerCache
-	remote cachewire.Cache // nil → single-process
-	rerrs  atomic.Int64    // remote get/put failures (degraded, not fatal)
+	pool       chan *evaluator
+	cache      *tunerCache
+	remote     cachewire.Cache // nil → single-process
+	noPrefetch bool            // per-key remote round trips instead of batched frames
+	rerrs      atomic.Int64    // remote get/put failures (degraded, not fatal)
 
 	// flights deduplicates in-flight evaluations across concurrent
 	// sweeps: the first cache miss on a key leads the computation, later
@@ -79,7 +87,8 @@ func NewTuner(opt TunerOptions) *Tuner {
 	if n <= 0 {
 		n = goruntime.NumCPU()
 	}
-	t := &Tuner{pool: make(chan *evaluator, n), remote: opt.Remote, flights: map[tunerKey]*flight{}}
+	t := &Tuner{pool: make(chan *evaluator, n), remote: opt.Remote,
+		noPrefetch: opt.NoPrefetch, flights: map[tunerKey]*flight{}}
 	for i := 0; i < n; i++ {
 		t.pool <- newEvaluator()
 	}
@@ -185,6 +194,73 @@ func (t *Tuner) remotePut(h uint64, e tunerEntry) {
 	}
 }
 
+// sweepRemote is one sweep's batched window onto the Tuner's remote
+// tier — how a shard costs O(1) round trips instead of O(cells). The
+// grid's deterministic layout lets the sweep enumerate its full key set
+// before any worker runs, so prefetch resolves every local miss in a
+// single MultiGet, and fresh evaluations queue in publish until one
+// end-of-sweep MultiPut flushes them. hits is written only during the
+// single-threaded prefetch and read-only once workers run; it pins the
+// prefetched entries for the sweep's lifetime, so an LRU eviction
+// between prefetch and use costs nothing (the in-process cache is
+// seeded too, but the sweep never depends on it retaining).
+type sweepRemote struct {
+	t    *Tuner
+	hits map[uint64]tunerEntry
+
+	mu   sync.Mutex
+	keys []uint64
+	ents []cachewire.Entry
+}
+
+// prefetch resolves one sweep's deduped local-miss key set against the
+// remote tier in one batched round trip (the transport chunks above
+// cachewire.MaxBatch), seeding both the sweep-pinned hit map and the
+// in-process cache. A transport error degrades every unresolved key to
+// a miss and counts once — partial results (filled before the error)
+// are still used.
+func (sr *sweepRemote) prefetch(gks []tunerKey, hks []uint64) {
+	if len(hks) == 0 {
+		return
+	}
+	t := sr.t
+	out := make([]cachewire.Entry, len(hks))
+	okv := make([]bool, len(hks))
+	if err := cachewire.GetBatch(t.remote, hks, out, okv); err != nil {
+		t.rerrs.Add(1)
+	}
+	for i, hk := range hks {
+		if !okv[i] {
+			continue
+		}
+		ent := tunerEntry{perReplica: out[i].PerReplica, maxGB: out[i].MaxGB,
+			fits: out[i].Fits, pruned: out[i].Pruned}
+		sr.hits[hk] = ent
+		t.cache.put(gks[i], hk, ent)
+	}
+}
+
+// publish queues one fresh evaluation for the end-of-sweep flush.
+func (sr *sweepRemote) publish(h uint64, e tunerEntry) {
+	sr.mu.Lock()
+	sr.keys = append(sr.keys, h)
+	sr.ents = append(sr.ents, cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB,
+		Fits: e.fits, Pruned: e.pruned})
+	sr.mu.Unlock()
+}
+
+// flush publishes every queued evaluation in one batched MultiPut.
+// Called after the worker pool drains, so no lock is needed; a transport
+// error degrades to dropped publishes, counted once.
+func (sr *sweepRemote) flush() {
+	if len(sr.keys) == 0 {
+		return
+	}
+	if err := cachewire.PutBatch(sr.t.remote, sr.keys, sr.ents); err != nil {
+		sr.t.rerrs.Add(1)
+	}
+}
+
 // tunerKey identifies one cached evaluation. The cluster contributes a
 // content fingerprint (presets build a fresh *Cluster per call, so pointer
 // identity would never hit); the model config is comparable and embedded
@@ -225,17 +301,23 @@ func keyFor(plan Plan, prune bool, clusterFP uint64) tunerKey {
 // bits would alias their cached entries; at ~2⁻⁶⁴ per pair that is far
 // below any failure rate the rest of the service can see.)
 func (k tunerKey) hash() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	// Hand-rolled FNV-64a over the identical little-endian byte stream
+	// hash/fnv would see (same digest, pinned by the golden test): the
+	// hash runs once per grid cell per sweep, and the interface-dispatch
+	// Write path showed up in sweep profiles.
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
 	u64 := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
 		}
-		h.Write(buf[:])
 	}
 	str := func(s string) {
 		u64(uint64(len(s)))
-		h.Write([]byte(s))
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
 	}
 	b := func(v bool) {
 		if v {
@@ -257,7 +339,7 @@ func (k tunerKey) hash() uint64 {
 	u64(uint64(int64(k.b)))
 	u64(uint64(int64(k.rows)))
 	b(k.prune)
-	return h.Sum64()
+	return h
 }
 
 // tunerEntry is the compact, D-invariant result of one evaluation — plain

@@ -63,3 +63,14 @@ func (m *Map[K, V]) Put(k K, v V) {
 
 // Len reports the number of live entries.
 func (m *Map[K, V]) Len() int { return len(m.m) }
+
+// Each calls f for every entry, least recently used first, without
+// disturbing recency order. The iteration order is what lets a snapshot
+// replay through Put (oldest first) and land with recency — and thus
+// eviction priority — intact. f must not mutate the map.
+func (m *Map[K, V]) Each(f func(K, V)) {
+	for el := m.l.Back(); el != nil; el = el.Prev() {
+		it := el.Value.(*item[K, V])
+		f(it.key, it.val)
+	}
+}

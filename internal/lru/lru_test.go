@@ -44,6 +44,34 @@ func TestGetRefreshesRecency(t *testing.T) {
 	}
 }
 
+func TestEachWalksOldestFirst(t *testing.T) {
+	m := New[int, int](3)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Put(3, 30)
+	m.Get(1) // 1 becomes most recent: order is now 2, 3, 1
+	var keys []int
+	m.Each(func(k, v int) {
+		if v != k*10 {
+			t.Fatalf("key %d carries %d, want %d", k, v, k*10)
+		}
+		keys = append(keys, k)
+	})
+	if len(keys) != 3 || keys[0] != 2 || keys[1] != 3 || keys[2] != 1 {
+		t.Fatalf("Each order %v, want [2 3 1] (least recent first)", keys)
+	}
+	// Replaying an Each walk through Put into a fresh map must preserve
+	// eviction priority: that is the snapshot/restore contract.
+	n := New[int, int](2)
+	m.Each(func(k, v int) { n.Put(k, v) })
+	if _, ok := n.Get(2); ok {
+		t.Fatal("oldest entry survived a tighter bound after replay")
+	}
+	if _, ok := n.Get(1); !ok {
+		t.Fatal("most recent entry lost in replay")
+	}
+}
+
 func TestZeroCapDropsEverything(t *testing.T) {
 	for _, cap := range []int{0, -3} {
 		m := New[int, int](cap)
