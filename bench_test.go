@@ -329,6 +329,60 @@ func BenchmarkAutoTunePruned(b *testing.B) {
 	}
 }
 
+// BenchmarkLowerBound measures the analytic makespan lower bound across
+// the nine sweep scheme families — the certificate every TopK sweep cell
+// pays before deciding whether to simulate at all. No schedule is
+// generated and nothing is simulated; CI pins the 0 allocs/op alongside
+// the other steady-state budgets (TestLowerBoundAllocsZero enforces it).
+func BenchmarkLowerBound(b *testing.B) {
+	wl := costmodel.Workload{Model: nn.BERTStyle(), MicroRows: 2}
+	cl := cluster.TACC(32)
+	schemes := []string{"gpipe", "dapple", "chimera", "chimera-wave",
+		"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, scheme := range schemes {
+			lb, err := costmodel.LowerBound(wl, cl, 8, 4, 16, scheme)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lb <= 0 {
+				b.Fatal("non-positive bound")
+			}
+		}
+	}
+}
+
+// BenchmarkAutoTuneFig10TopK is the bound-and-prune headline: the serial
+// fig10-sized sweep at TopK=3 — the first three ranks exact, provably
+// losing cells skipped by the analytic bound or aborted mid-simulation at
+// their proven deadline. The reported metric is the wall-clock speedup
+// over the identical exhaustive sweep (the acceptance bar is ≥3× cold;
+// both sides run cold — no Tuner, no cross-sweep cache).
+func BenchmarkAutoTuneFig10TopK(b *testing.B) {
+	cl := cluster.TACC(32)
+	model := nn.BERTStyle()
+	space := autotuneSpace(1)
+	space.TopK = 3
+	// Warmed exhaustive baseline, measured once.
+	core.AutoTune(cl, model, autotuneSpace(1))
+	start := time.Now()
+	core.AutoTune(cl, model, autotuneSpace(1))
+	exhaustive := time.Since(start)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := core.AutoTune(cl, model, space); len(cands) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(exhaustive)/float64(perOp), "exhaustive/topk-x")
+	}
+}
+
 // BenchmarkTunerRepeatedSweeps is the tuning-service headline: repeated
 // fig10-sized sweeps served by one hanayo.Tuner (arena reuse + the
 // cross-sweep evaluation cache) against back-to-back core.AutoTune calls

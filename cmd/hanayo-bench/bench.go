@@ -187,6 +187,33 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}))
+	// The analytic makespan lower bound over the nine scheme families —
+	// the per-cell certificate the TopK sweep orders and prunes by
+	// (allocation-free; no schedule, no simulation).
+	add(measure("costmodel_lowerbound", func(b *testing.B) {
+		wl := costmodel.Workload{Model: model, MicroRows: 2}
+		schemes := []string{"gpipe", "dapple", "chimera", "chimera-wave",
+			"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems"}
+		for i := 0; i < b.N; i++ {
+			for _, scheme := range schemes {
+				if _, err := costmodel.LowerBound(wl, cl, 8, 4, 16, scheme); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+	// The bound-and-prune sweep: identical grid to autotune_fig10_serial
+	// but keeping only the top 3 ranks exact — the ratio between the two
+	// entries is the branch-and-bound win this PR records (bar: ≥3×).
+	add(measure("autotune_fig10_topk3_serial", func(b *testing.B) {
+		space := fig10SizedSpace(1, false)
+		space.TopK = 3
+		for i := 0; i < b.N; i++ {
+			if cands := core.AutoTune(cl, model, space); len(cands) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}))
 	add(measure("tuner_fig10_cached_repeat", func(b *testing.B) {
 		tn := core.NewTuner(core.TunerOptions{})
 		if cands := tn.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {

@@ -7,6 +7,7 @@
 //	hanayo-bench -exp fig09  # run one experiment
 //	hanayo-bench -exp fig10 -workers 1   # serial configuration search
 //	hanayo-bench -exp fig10 -prune       # memtrace-first OOM pruning
+//	hanayo-bench -exp fig10 -topk 3      # bound-and-prune: exact top 3 only
 //	hanayo-bench -exp fig10 -repeat 20   # steady-state: rerun 20×
 //	hanayo-bench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //	hanayo-bench -json BENCH_3.json      # write the perf-tracking artifact
@@ -37,6 +38,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
 	prune := flag.Bool("prune", false, "fig10: memtrace-first OOM pruning (infeasible cells skip the timing simulation)")
+	topk := flag.Int("topk", 0, "fig10: bound-and-prune search keeping this many exact ranks (0 = exhaustive)")
 	repeat := flag.Int("repeat", 1, "run the selected experiments this many times (steady-state profiling); only the last run prints")
 	jsonOut := flag.String("json", "", "run the micro-benchmark suite and write machine-readable results to this file (e.g. BENCH_3.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -44,6 +46,7 @@ func main() {
 	flag.Parse()
 	experiments.AutoTuneWorkers = *workers
 	experiments.AutoTunePrune = *prune
+	experiments.AutoTuneTopK = *topk
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -26,6 +26,13 @@
 // shards one logical cache with no coordinator and survives node loss.
 // With -snapshot, a serve process restores its contents at startup and
 // writes them back on SIGINT/SIGTERM, so a tier restart stays warm.
+//
+// With -topk N, each worker runs its shard as a bound-and-prune search:
+// the cutoff is shard-local, so every shard's top N stays exact and the
+// merged ranking's first N rows still equal the exhaustive single-process
+// sweep. Bound-pruned cells carry only a proven throughput ceiling
+// (`bound`) and are never published to the shared tier; workers count
+// them in the JSON (`bound_pruned`) next to `sims`.
 package main
 
 import (
@@ -64,6 +71,7 @@ func main() {
 	b := flag.Int("b", 16, "micro-batches per replica")
 	rows := flag.Int("rows", 2, "sequences per micro-batch")
 	prune := flag.Bool("prune", false, "memtrace-first OOM pruning")
+	topk := flag.Int("topk", 0, "bound-and-prune search keeping this many exact ranks per shard (0 = exhaustive)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines: 0 = one per CPU")
 	out := flag.String("o", "", "worker output file (default stdout)")
 
@@ -78,7 +86,7 @@ func main() {
 		err = runWorker(workerConfig{
 			shard: *shard, of: *of, remote: *remote, replicas: *replicas,
 			cluster: *clName, devices: *devices, model: *modelName,
-			b: *b, rows: *rows, prune: *prune, workers: *workers, out: *out,
+			b: *b, rows: *rows, prune: *prune, topk: *topk, workers: *workers, out: *out,
 		})
 	case *merge:
 		err = runMerge(flag.Args(), os.Stdout)
@@ -170,6 +178,7 @@ type workerConfig struct {
 	devices          int
 	model            string
 	b, rows, workers int
+	topk             int
 	prune            bool
 	out              string
 }
@@ -179,31 +188,35 @@ type workerConfig struct {
 // order, and the number of simulations the worker actually issued (0 when
 // the shared tier already held every key).
 type shardFile struct {
-	Shard      int             `json:"shard"`
-	Of         int             `json:"of"`
-	Cluster    string          `json:"cluster"`
-	Devices    int             `json:"devices"`
-	Model      string          `json:"model"`
-	B          int             `json:"b"`
-	MicroRows  int             `json:"micro_rows"`
-	Prune      bool            `json:"prune"`
-	Sims       int64           `json:"sims"`
-	Candidates []wireCandidate `json:"candidates"`
+	Shard       int             `json:"shard"`
+	Of          int             `json:"of"`
+	Cluster     string          `json:"cluster"`
+	Devices     int             `json:"devices"`
+	Model       string          `json:"model"`
+	B           int             `json:"b"`
+	MicroRows   int             `json:"micro_rows"`
+	Prune       bool            `json:"prune"`
+	TopK        int             `json:"topk,omitempty"`
+	Sims        int64           `json:"sims"`
+	BoundPruned int64           `json:"bound_pruned,omitempty"`
+	Candidates  []wireCandidate `json:"candidates"`
 }
 
 // wireCandidate is the JSON form of one core.Candidate. Floats survive
 // encoding/json exactly (shortest round-tripping decimal), so merged
 // rankings stay bit-for-bit comparable to in-process sweeps.
 type wireCandidate struct {
-	Scheme     string  `json:"scheme"`
-	P          int     `json:"p"`
-	D          int     `json:"d"`
-	B          int     `json:"b"`
-	Throughput float64 `json:"throughput"`
-	PeakGB     float64 `json:"peak_gb"`
-	OOM        bool    `json:"oom,omitempty"`
-	Pruned     bool    `json:"pruned,omitempty"`
-	Err        string  `json:"err,omitempty"`
+	Scheme      string  `json:"scheme"`
+	P           int     `json:"p"`
+	D           int     `json:"d"`
+	B           int     `json:"b"`
+	Throughput  float64 `json:"throughput"`
+	PeakGB      float64 `json:"peak_gb"`
+	OOM         bool    `json:"oom,omitempty"`
+	Pruned      bool    `json:"pruned,omitempty"`
+	BoundPruned bool    `json:"bound_pruned,omitempty"`
+	Bound       float64 `json:"bound,omitempty"`
+	Err         string  `json:"err,omitempty"`
 }
 
 func toWire(cands []core.Candidate) []wireCandidate {
@@ -212,6 +225,7 @@ func toWire(cands []core.Candidate) []wireCandidate {
 		out[i] = wireCandidate{
 			Scheme: c.Plan.Scheme, P: c.Plan.P, D: c.Plan.D, B: c.Plan.B,
 			Throughput: c.Throughput, PeakGB: c.PeakGB, OOM: c.OOM, Pruned: c.Pruned,
+			BoundPruned: c.BoundPruned, Bound: c.Bound,
 		}
 		if c.Err != nil {
 			out[i].Err = c.Err.Error()
@@ -226,6 +240,7 @@ func fromWire(cands []wireCandidate) []core.Candidate {
 		out[i] = core.Candidate{
 			Plan:       core.Plan{Scheme: c.Scheme, P: c.P, D: c.D, B: c.B},
 			Throughput: c.Throughput, PeakGB: c.PeakGB, OOM: c.OOM, Pruned: c.Pruned,
+			BoundPruned: c.BoundPruned, Bound: c.Bound,
 		}
 		if c.Err != "" {
 			out[i].Err = fmt.Errorf("%s", c.Err)
@@ -279,19 +294,25 @@ func runWorker(cfg workerConfig) error {
 	}
 	tuner := core.NewTuner(opts)
 	space := core.SearchSpace{
-		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune, Workers: cfg.workers,
+		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune, TopK: cfg.topk, Workers: cfg.workers,
 	}.Shard(cfg.shard, cfg.of)
 
 	start := time.Now()
 	before := core.SimRuns()
 	cands := tuner.AutoTuneShard(cl, model, space)
 	sims := core.SimRuns() - before
+	var boundPruned int64
+	for _, c := range cands {
+		if c.BoundPruned {
+			boundPruned++
+		}
+	}
 
 	file := shardFile{
 		Shard: cfg.shard, Of: cfg.of,
 		Cluster: cfg.cluster, Devices: cfg.devices, Model: cfg.model,
-		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune,
-		Sims: sims, Candidates: toWire(cands),
+		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune, TopK: cfg.topk,
+		Sims: sims, BoundPruned: boundPruned, Candidates: toWire(cands),
 	}
 	w := os.Stdout
 	if cfg.out != "" {
@@ -307,8 +328,8 @@ func runWorker(cfg workerConfig) error {
 	if err := enc.Encode(file); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "hanayo-tuned: shard %d/%d on %s×%d: %d candidates, %d simulations, %v (remote errors: %d)\n",
-		cfg.shard, cfg.of, cfg.cluster, cfg.devices, len(cands), sims,
+	fmt.Fprintf(os.Stderr, "hanayo-tuned: shard %d/%d on %s×%d: %d candidates, %d simulations, %d bound-pruned, %v (remote errors: %d)\n",
+		cfg.shard, cfg.of, cfg.cluster, cfg.devices, len(cands), sims, boundPruned,
 		time.Since(start).Round(time.Millisecond), tuner.RemoteErrors())
 	if ring != nil {
 		for _, ne := range ring.Errors() {
@@ -345,7 +366,7 @@ func runMerge(paths []string, w io.Writer) error {
 		if i == 0 {
 			head = sf
 		} else if sf.Cluster != head.Cluster || sf.Devices != head.Devices || sf.Model != head.Model ||
-			sf.B != head.B || sf.MicroRows != head.MicroRows || sf.Prune != head.Prune {
+			sf.B != head.B || sf.MicroRows != head.MicroRows || sf.Prune != head.Prune || sf.TopK != head.TopK {
 			return fmt.Errorf("%s describes a different sweep than %s", path, paths[0])
 		}
 		parts[i] = fromWire(sf.Candidates)
@@ -360,6 +381,10 @@ func runMerge(paths []string, w io.Writer) error {
 		switch {
 		case c.Err != nil:
 			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12s %9s  (%v)\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D, "error", "-", c.Err)
+		case c.BoundPruned:
+			// Eliminated by the TopK bound: only the proven ceiling is known.
+			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12s %9s\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D,
+				fmt.Sprintf("<%.2f", c.Bound), "-")
 		case c.OOM:
 			fmt.Fprintf(w, "%4d  %-14s %4d %4d %12s %9.1f\n", i+1, c.Plan.Scheme, c.Plan.P, c.Plan.D, "OOM", c.PeakGB)
 		default:

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"runtime"
@@ -24,6 +25,8 @@ import (
 )
 
 func main() {
+	topk := flag.Int("topk", 0, "bound-and-prune search keeping this many exact ranks per shard (0 = exhaustive)")
+	flag.Parse()
 	model := hanayo.BERTStyle()
 	waves := []int{1, 2, 4, 8}
 	start := time.Now()
@@ -53,6 +56,7 @@ func main() {
 			B:         8,
 			MicroRows: 2,
 			Workers:   runtime.NumCPU(),
+			TopK:      *topk,
 		}
 		const shards = 2
 		parts := make([][]hanayo.Candidate, shards)
@@ -74,6 +78,9 @@ func main() {
 			switch {
 			case c.Err != nil:
 				log.Fatal(c.Err)
+			case c.BoundPruned:
+				// Eliminated by the TopK bound: only the ceiling is proven.
+				fmt.Printf(" %10s", fmt.Sprintf("<%.2f", c.Bound))
 			case c.OOM:
 				fmt.Printf(" %10s", "OOM")
 			default:

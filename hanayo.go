@@ -66,8 +66,24 @@ type (
 
 // AutoTune sweeps plans over a cluster as in Fig 10. SearchSpace.Prune
 // routes every configuration through the memtrace OOM front end first, so
-// infeasible cells never pay for a timing simulation.
+// infeasible cells never pay for a timing simulation. SearchSpace.TopK
+// turns the exhaustive sweep into an exact branch-and-bound search: the
+// first TopK ranks stay bit-for-bit identical to the exhaustive ranking
+// while provably losing cells are skipped or deadline-aborted, surfacing
+// as Candidate.BoundPruned with their proven Bound.
 var AutoTune = core.AutoTune
+
+// LowerBound proves a floor on the simulated per-replica makespan of a
+// (scheme, P, D, B) cell straight from the cost model's FLOP/byte
+// formulas — no schedule generation, no simulation, no allocation. It is
+// the analytic certificate steering AutoTune's TopK branch-and-bound
+// sweep, exported for planners that want to pre-rank or cap grids
+// themselves.
+var LowerBound = costmodel.LowerBound
+
+// Workload pairs a model config with the per-micro-batch row count — the
+// cost-model input of LowerBound.
+type Workload = costmodel.Workload
 
 // NewTuner builds the tuning service for serving many (possibly
 // concurrent, possibly repeated) AutoTune sweeps.

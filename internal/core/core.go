@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	goruntime "runtime"
 	"sort"
 	"sync"
@@ -60,6 +61,40 @@ type sweepCache struct {
 	mu    sync.Mutex
 	sched map[schedKey]*schedEntry
 	eval  map[schedKey]*evalEntry
+	// full is the branch-and-bound sweep's result memo (TopK > 0): only
+	// COMPLETE evaluations — full simulations, memtrace OOM verdicts,
+	// deterministic errors — all of them D-invariant. Deadline-aborted
+	// results never enter (their abort cap depends on the observing cell's
+	// D and the cutoff at evaluation time, so they are not reusable facts
+	// about the key). Unlike eval there is no per-key Once: racing workers
+	// may duplicate a bounded measurement, which only over-evaluates.
+	full map[schedKey]*fullEntry
+}
+
+type fullEntry struct {
+	e   *evalShared
+	err error
+}
+
+// peekFull returns the memoized complete evaluation of k, if any.
+func (c *sweepCache) peekFull(k schedKey) (*evalShared, error, bool) {
+	c.mu.Lock()
+	f, ok := c.full[k]
+	c.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	return f.e, f.err, true
+}
+
+// publishFull memoizes a complete evaluation (or its deterministic
+// error); the caller must never pass a deadline-aborted result.
+func (c *sweepCache) publishFull(k schedKey, e *evalShared, err error) {
+	c.mu.Lock()
+	if _, ok := c.full[k]; !ok {
+		c.full[k] = &fullEntry{e: e, err: err}
+	}
+	c.mu.Unlock()
 }
 
 type schedEntry struct {
@@ -83,6 +118,13 @@ type evalShared struct {
 	pruned     bool    // OOM decided by the memtrace front end; no sim ran
 	maxGB      float64 // peak per-device footprint (mem.MaxGB() when mem != nil)
 	perReplica float64 // sequences/s of one replica
+	// boundOnly marks a deadline-aborted evaluation (the bound-and-prune
+	// sweep's RunDeadline path): no complete simulation ran, and
+	// perReplica is a proven UPPER bound on the per-replica throughput
+	// (B·MicroRows over the partial makespan, itself a makespan lower
+	// bound) rather than an exact value. boundOnly results are never
+	// cached — not in the sweep memo, the Tuner tiers or the remote tier.
+	boundOnly bool
 }
 
 type evalEntry struct {
@@ -92,7 +134,8 @@ type evalEntry struct {
 }
 
 func newSweepCache() *sweepCache {
-	return &sweepCache{sched: map[schedKey]*schedEntry{}, eval: map[schedKey]*evalEntry{}}
+	return &sweepCache{sched: map[schedKey]*schedEntry{}, eval: map[schedKey]*evalEntry{},
+		full: map[schedKey]*fullEntry{}}
 }
 
 // get memoizes one schedule per key; g is the calling worker's reusable
@@ -287,7 +330,7 @@ func (p Plan) evaluateShared(opt EvalOptions) (*evalShared, error) {
 		return &evalShared{mt: mt, mem: mem, maxGB: mem.MaxGB(),
 			fits: memmodel.FitsCluster(mem, p.Cluster, memMargin)}, nil
 	}
-	return p.simEvaluate(s, opt.Sim, nil)
+	return p.simEvaluate(s, opt.Sim, nil, 0)
 }
 
 // simEvaluate is the one implementation of the timed-evaluation recipe:
@@ -297,18 +340,30 @@ func (p Plan) evaluateShared(opt EvalOptions) (*evalShared, error) {
 // retains its Result in the evalShared (the Plan.Evaluate path); a
 // non-nil runner reuses its arenas, and everything the evaluation keeps
 // is extracted into fresh storage before the Runner's next run
-// invalidates the Result (the sweep/service path).
-func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner) (*evalShared, error) {
+// invalidates the Result (the sweep/service path). deadline > 0 (which
+// requires a runner — the bound-and-prune sweep path) caps the virtual
+// clock: an aborted run returns a boundOnly evalShared whose perReplica
+// is the proven per-replica throughput upper bound, counting toward
+// SimRuns like any simulation it actually started.
+func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner, deadline float64) (*evalShared, error) {
 	cost, err := costmodel.New(costmodel.Workload{Model: p.Model, MicroRows: p.MicroRows}, p.Cluster, s)
 	if err != nil {
 		return nil, err
 	}
 	simRuns.Add(1)
-	run := sim.Run
-	if runner != nil {
-		run = runner.Run
+	var r *sim.Result
+	if deadline > 0 && runner != nil {
+		var exceeded bool
+		r, exceeded, err = runner.RunDeadline(s, cost, opt, deadline)
+		if err == nil && exceeded {
+			return &evalShared{boundOnly: true,
+				perReplica: float64(p.B*p.MicroRows) / r.Makespan}, nil
+		}
+	} else if runner != nil {
+		r, err = runner.Run(s, cost, opt)
+	} else {
+		r, err = sim.Run(s, cost, opt)
 	}
-	r, err := run(s, cost, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +450,21 @@ type Candidate struct {
 	// and PeakGB is the infeasibility-proving lower bound the aborted
 	// replay observed rather than the full-iteration peak.
 	Pruned bool
-	Err    error
+	// BoundPruned marks a cell the bound-and-prune sweep (SearchSpace.TopK)
+	// eliminated without a complete simulation — its analytic lower bound
+	// already lost to the ranking cutoff, or its deadline-capped simulation
+	// proved the makespan exceeds the cap. Such a cell is provably outside
+	// the exact top K. Throughput holds the best fully evaluated value
+	// behind the row (0 when nothing completed — always, except for a
+	// Hanayo wave-group row some of whose waves did evaluate) and Bound the
+	// proven upper bound on what the row could have scored.
+	BoundPruned bool
+	// Bound is the proven total-throughput upper bound (sequences/s across
+	// all D replicas) of a BoundPruned row; 0 otherwise. For a wave-group
+	// row it is the max over its pruned waves' bounds when that exceeds the
+	// best fully evaluated wave.
+	Bound float64
+	Err   error
 }
 
 // SearchSpace bounds the AutoTune sweep.
@@ -419,6 +488,23 @@ type SearchSpace struct {
 	// pruning wins whenever OOM cells are common — large models pressing
 	// against device memory, exactly the regime the search targets.
 	Prune bool
+	// TopK, when positive, turns the exhaustive sweep into an exact
+	// branch-and-bound search over the timing axis: cells are visited in
+	// best-first order of their analytic throughput upper bound
+	// (costmodel.LowerBound), a shared cutoff tracks the Kth-best fully
+	// evaluated output row across the worker pool, cells whose bound
+	// strictly loses to the cutoff are skipped outright, and the rest
+	// simulate under sim.Runner.RunDeadline with a cutoff-derived clock
+	// cap. The first TopK ranked candidates are bit-for-bit identical to
+	// the exhaustive sweep's (ties included — pruning and abortion are
+	// both strict, so cutoff ties always evaluate fully); later entries
+	// may surface as Candidate.BoundPruned with a proven Bound instead of
+	// an exact throughput. 0 keeps today's exhaustive, bit-for-bit
+	// complete ranking. Bound-pruned evaluations are never published to
+	// the Tuner's local or remote cache. Under sharding the cutoff is
+	// shard-local, so every shard's top-K stays exact and MergeShards
+	// reproduces the exhaustive top-K.
+	TopK int
 
 	// shardIndex/shardCount restrict a sweep to one deterministic slice of
 	// the candidate grid — set via Shard, evaluated via AutoTuneShard,
@@ -479,6 +565,14 @@ func newEvaluator() *evaluator {
 // reusable executors: memory replay first when pruning (infeasible cells
 // never reach sim.Run), then one timed simulation for the cells that fit.
 func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*evalShared, error) {
+	return ev.evalScheduleDeadline(s, plan, prune, 0)
+}
+
+// evalScheduleDeadline is evalSchedule with an optional virtual-clock cap
+// (0 → none): the bound-and-prune sweep's measurement path. The memtrace
+// OOM front end runs uncapped — its verdicts stay complete, cacheable
+// facts — and only the timing simulation is deadline-aborted.
+func (ev *evaluator) evalScheduleDeadline(s *sched.Schedule, plan Plan, prune bool, deadline float64) (*evalShared, error) {
 	cl, model, rows := plan.Cluster, plan.Model, plan.MicroRows
 	if prune {
 		weights := memmodel.Weights(s, model)
@@ -511,7 +605,7 @@ func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*ev
 		}
 		// Fits: fall through to the timing model.
 	}
-	return plan.simEvaluate(s, sim.DefaultOptions(), ev.runner)
+	return plan.simEvaluate(s, sim.DefaultOptions(), ev.runner, deadline)
 }
 
 // evalKey resolves one key through the cross-sweep cache (when serving
@@ -520,14 +614,15 @@ func (ev *evaluator) evalSchedule(s *sched.Schedule, plan Plan, prune bool) (*ev
 // sweeps and nil under a Tuner, where a pooled evaluator is checked out
 // only after both cache tiers and the in-flight table miss — cache hits,
 // flight followers and workers waiting on another builder's per-sweep
-// Once never pin a pool slot. clusterFP is the sweep-constant cluster
-// fingerprint (computed once per sweep, not per key). sr is the sweep's
-// batched remote window (nil without a remote tier or with NoPrefetch):
-// when present, the sweep-start MultiGet has already probed every key of
-// this grid, so a miss skips the per-key remote probe and fresh results
-// queue for the end-of-sweep flush instead of paying one put round trip
-// each.
-func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64, sr *sweepRemote) (*evalShared, error) {
+// Once never pin a pool slot. gk/hk are the task's cross-sweep key and
+// its digest, computed exactly once per cell at grid layout (meaningful
+// only under a Tuner) — one digest routes both cache tiers and the wire.
+// sr is the sweep's batched remote window (nil without a remote tier or
+// with NoPrefetch): when present, the sweep-start MultiGet has already
+// probed every key of this grid, so a miss skips the per-key remote
+// probe and fresh results queue for the end-of-sweep flush instead of
+// paying one put round trip each.
+func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, gk tunerKey, hk uint64, sr *sweepRemote) (*evalShared, error) {
 	if t == nil {
 		s, err := plan.scheduleWith(own.gen)
 		if err != nil {
@@ -535,8 +630,6 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64, 
 		}
 		return own.evalSchedule(s, plan, prune)
 	}
-	gk := keyFor(plan, prune, clusterFP)
-	hk := gk.hash() // one digest routes both cache tiers and the wire
 	if ent, ok := t.cache.get(gk, hk); ok {
 		return ent.toShared(), nil
 	}
@@ -600,6 +693,122 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64, 
 	return es, nil
 }
 
+// evalKeyBounded is evalKey for the branch-and-bound path (TopK > 0):
+// the same cache tiers serve hits — every cache entry is a complete
+// evaluation, so a hit is always exact — but misses measure under the
+// deadline (0 → uncapped), and deadline-aborted results are published
+// nowhere: not the local cache, not the remote tier, and the cross-sweep
+// flight table is bypassed entirely (the abort cap depends on this
+// sweep's cutoff and the cell's D, so a boundOnly verdict is not a
+// reusable fact about the key, and a follower must not inherit one).
+// Racing sweeps may therefore duplicate a bounded measurement, which
+// only over-evaluates — complete results are deterministic, so whichever
+// publication lands is the same entry.
+func evalKeyBounded(plan Plan, own *evaluator, prune bool, t *Tuner, gk tunerKey, hk uint64, sr *sweepRemote, deadline float64) (*evalShared, error) {
+	if t == nil {
+		s, err := plan.scheduleWith(own.gen)
+		if err != nil {
+			return nil, err
+		}
+		return own.evalScheduleDeadline(s, plan, prune, deadline)
+	}
+	if ent, ok := t.cache.get(gk, hk); ok {
+		return ent.toShared(), nil
+	}
+	if sr != nil {
+		if ent, ok := sr.hits[hk]; ok {
+			t.cache.put(gk, hk, ent)
+			return ent.toShared(), nil
+		}
+	} else if ent, ok := t.remoteGet(hk); ok {
+		t.cache.put(gk, hk, ent)
+		return ent.toShared(), nil
+	}
+	ev := t.checkout()
+	defer t.checkin(ev)
+	s, err := plan.scheduleWith(ev.gen)
+	if err != nil {
+		return nil, err
+	}
+	es, err := ev.evalScheduleDeadline(s, plan, prune, deadline)
+	if err != nil || es.boundOnly {
+		return es, err // proven-below-cutoff (or failed): not a cache entry
+	}
+	ent := tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
+	t.cache.put(gk, hk, ent)
+	if sr != nil {
+		sr.publish(hk, ent)
+	} else {
+		t.remotePut(hk, ent)
+	}
+	return es, nil
+}
+
+// cutoffState is the branch-and-bound sweep's shared ranking cutoff: a
+// proven floor on the Kth-best output-row total throughput, maintained
+// across the worker pool. vals[slot] carries the best fully evaluated
+// cell value of output row slot — wave groups collapse to one row and
+// share one slot, because folding raw cell values into a Kth-best over
+// *cells* would overstate the Kth-best *row* (a group contributes only
+// its winner to the ranking) and wrongly prune cells that belong in the
+// exact top K. Slot updates are monotone and always exact-or-below the
+// row's true final value, so the published cutoff only rises and never
+// passes the true Kth-best row value; skipping strictly below it is
+// therefore exact, and worker races can only lower the cutoff a reader
+// observes — over-evaluation, never mis-ranking.
+type cutoffState struct {
+	k    int
+	bits atomic.Uint64 // Float64bits of the cutoff (0 until k rows score)
+
+	mu      sync.Mutex
+	vals    []float64 // per output-row best fully evaluated value
+	scratch []float64
+}
+
+func newCutoffState(k, slots int) *cutoffState {
+	return &cutoffState{k: k, vals: make([]float64, slots), scratch: make([]float64, slots)}
+}
+
+// cutoff is the current proven floor on the Kth-best row value — one
+// atomic load on the worker hot path. 0 disables pruning (fewer than k
+// rows have fully evaluated members yet, or the grid has fewer than k
+// rows at all).
+func (c *cutoffState) cutoff() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// observe folds one fully evaluated cell value into its output row and
+// republishes the Kth-largest row value. Non-positive values (OOM,
+// error and empty cells) are no-ops — unevaluated rows hold 0, which
+// keeps the cutoff at 0 until at least k rows carry real values.
+func (c *cutoffState) observe(slot int, thr float64) {
+	if thr <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if thr > c.vals[slot] {
+		c.vals[slot] = thr
+		if len(c.vals) >= c.k {
+			// Kth-largest by k max-scans over a scratch copy: the grid has
+			// tens of rows and k is small, so this beats a heap.
+			copy(c.scratch, c.vals)
+			kth := 0.0
+			for j := 0; j < c.k; j++ {
+				best := 0
+				for i := 1; i < len(c.scratch); i++ {
+					if c.scratch[i] > c.scratch[best] {
+						best = i
+					}
+				}
+				kth = c.scratch[best]
+				c.scratch[best] = math.Inf(-1)
+			}
+			c.bits.Store(math.Float64bits(kth))
+		}
+	}
+	c.mu.Unlock()
+}
+
 // AutoTune sweeps the search space and returns all candidates sorted by
 // throughput (best first). OOM candidates sort last — they appear in Fig 10
 // as blank cells. Candidates are measured by a bounded worker pool of
@@ -608,6 +817,9 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, clusterFP uint64, 
 // independent of the worker count. Each worker owns a reusable
 // sim.Runner/memtrace.Replayer pair, and space.Prune routes every key
 // through the memory-replay front end before the timing model.
+// space.TopK > 0 trades the exhaustive tail for speed: the first TopK
+// ranks stay exact and bit-for-bit identical while provably losing cells
+// are bound-pruned (see SearchSpace.TopK and Candidate.BoundPruned).
 func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
 	return sweep(cl, model, space, nil)
 }
@@ -660,20 +872,24 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 		workers = goruntime.NumCPU()
 	}
 
-	// Lay out the candidate grid in deterministic order. waveGroup tags
-	// the Hanayo wave-sweep candidates of one (P, D) so only the best wave
+	// Lay out the candidate grid in deterministic order. wave tags the
+	// Hanayo wave-sweep candidates of one (P, D) so only the best wave
 	// survives, mirroring §5.3 ("we searched for the best wave number under
 	// each parallelism configuration"). Sharded sweeps assign grid units —
 	// each regular cell its own, the whole wave group of one (P, D) a
 	// single one, so its internal best-of reduction never splits — round-
 	// robin to shards and lay out only the owned units; MergeShards relies
 	// on exactly this unit order and assignment to stitch shards back
-	// together.
-	type task struct {
-		plan Plan
-		pd   int  // index into space.PD
-		wave bool // part of the per-(P,D) Hanayo wave sweep
+	// together. The layout pass also computes each cell's sweep-constant
+	// derivatives exactly once: the cross-sweep cache key and its digest
+	// (previously hashed again per cold cell inside evalKey), the
+	// output-row slot, and — for a branch-and-bound sweep — the analytic
+	// throughput upper bound that orders and prunes the walk.
+	var clusterFP uint64
+	if t != nil {
+		clusterFP = cl.Fingerprint() // sweep-constant: hash the matrices once
 	}
+	wl := costmodel.Workload{Model: model, MicroRows: space.MicroRows}
 	unit := 0
 	claim := func() bool { // does this shard own the next grid unit?
 		own := space.shardCount <= 1 || unit%space.shardCount == space.shardIndex
@@ -681,7 +897,24 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 		return own
 	}
 	cache := newSweepCache()
-	var tasks []task
+	var tasks []sweepTask
+	slots := 0 // output rows owned by this shard (== grid units owned)
+	layout := func(plan Plan, pd int, wave bool) {
+		tk := sweepTask{plan: plan, pd: pd, wave: wave, slot: slots, ub: math.Inf(1)}
+		if t != nil {
+			tk.gk = keyFor(plan, space.Prune, clusterFP)
+			tk.hk = tk.gk.hash()
+		}
+		if space.TopK > 0 {
+			// A bound error (a shape the scheme rejects) leaves ub at +Inf:
+			// the cell is never pruned, so the real generation error
+			// surfaces exactly as the exhaustive sweep reports it.
+			if lb, err := costmodel.LowerBound(wl, cl, plan.P, plan.D, plan.B, plan.Scheme); err == nil && lb > 0 {
+				tk.ub = float64(plan.D*plan.B*plan.MicroRows) / lb
+			}
+		}
+		tasks = append(tasks, tk)
+	}
 	for pi, pd := range space.PD {
 		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
 			B: space.B, MicroRows: space.MicroRows, cache: cache}
@@ -691,27 +924,17 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 			}
 			plan := base
 			plan.Scheme = scheme
-			tasks = append(tasks, task{plan: plan, pd: pi})
+			layout(plan, pi, false)
+			slots++
 		}
 		if len(space.Waves) > 0 && claim() {
 			for _, w := range space.Waves {
 				plan := base
 				plan.Scheme = fmt.Sprintf("hanayo-w%d", w)
-				tasks = append(tasks, task{plan: plan, pd: pi, wave: true})
+				layout(plan, pi, true)
 			}
+			slots++
 		}
-	}
-
-	// Measure every candidate concurrently into its deterministic slot:
-	// `workers` goroutines pull task indices from a shared feed. A
-	// standalone sweep gives each worker its own evaluator for the sweep's
-	// lifetime; under a Tuner, evalKey checks one out of the bounded
-	// shared pool only while actually measuring, so concurrent sweeps
-	// contend for (and reuse) the same warmed arenas without cache hits
-	// occupying pool slots.
-	var clusterFP uint64
-	if t != nil {
-		clusterFP = cl.Fingerprint() // sweep-constant: hash the matrices once
 	}
 
 	// With a remote tier, resolve the whole shard against it up front:
@@ -726,27 +949,55 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 		var gks []tunerKey
 		var hks []uint64
 		for _, tk := range tasks {
-			gk := keyFor(tk.plan, space.Prune, clusterFP)
-			hk := gk.hash()
-			if _, dup := seen[hk]; dup {
+			if _, dup := seen[tk.hk]; dup {
 				continue
 			}
-			seen[hk] = struct{}{}
-			if ent, ok := t.cache.get(gk, hk); ok {
+			seen[tk.hk] = struct{}{}
+			if ent, ok := t.cache.get(tk.gk, tk.hk); ok {
 				// Already local: pin it for the sweep so an eviction
 				// between now and the worker's lookup cannot force a
 				// re-simulation.
-				sr.hits[hk] = ent
+				sr.hits[tk.hk] = ent
 				continue
 			}
-			gks = append(gks, gk)
-			hks = append(hks, hk)
+			gks = append(gks, tk.gk)
+			hks = append(hks, tk.hk)
 		}
 		sr.prefetch(gks, hks)
 	}
 
-	measured := make([]Candidate, len(tasks))
+	// Measure every candidate concurrently into its deterministic slot:
+	// `workers` goroutines pull task indices from a shared feed. A
+	// standalone sweep gives each worker its own evaluator for the sweep's
+	// lifetime; under a Tuner, evalKey checks one out of the bounded
+	// shared pool only while actually measuring, so concurrent sweeps
+	// contend for (and reuse) the same warmed arenas without cache hits
+	// occupying pool slots. A branch-and-bound sweep (TopK > 0) feeds the
+	// cells best-first — descending analytic upper bound — so the true
+	// winners tend to evaluate first and the cutoff tightens as early as
+	// possible; everything still lands in grid-order measured slots, so
+	// the reduction below is order-independent.
+	var cut *cutoffState
 	feed := make(chan int, len(tasks))
+	if space.TopK > 0 {
+		cut = newCutoffState(space.TopK, slots)
+		order := make([]int, len(tasks))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return tasks[order[a]].ub > tasks[order[b]].ub
+		})
+		for _, i := range order {
+			feed <- i
+		}
+	} else {
+		for i := range tasks {
+			feed <- i
+		}
+	}
+	close(feed)
+	measured := make([]Candidate, len(tasks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -757,17 +1008,18 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 				own = newEvaluator()
 			}
 			for i := range feed {
-				plan := tasks[i].plan
+				tk := &tasks[i]
+				if space.TopK > 0 {
+					measured[i] = evalBounded(tk, cache, own, space.Prune, t, sr, cut)
+					continue
+				}
+				plan := tk.plan
 				es, err := cache.evalFor(schedKey{plan.Scheme, plan.P, plan.B},
-					func() (*evalShared, error) { return evalKey(plan, own, space.Prune, t, clusterFP, sr) })
+					func() (*evalShared, error) { return evalKey(plan, own, space.Prune, t, tk.gk, tk.hk, sr) })
 				measured[i] = candidateFrom(plan, es, err)
 			}
 		}()
 	}
-	for i := range tasks {
-		feed <- i
-	}
-	close(feed)
 	wg.Wait()
 	if sr != nil {
 		sr.flush()
@@ -775,7 +1027,14 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 
 	// Reduce in grid order, exactly as the serial sweep: per (P, D) the
 	// regular candidates pass through, then the wave group contributes its
-	// best wave (first maximum wins).
+	// best wave (first maximum wins). A pruned wave whose proven bound
+	// exceeds the best fully evaluated wave makes the whole row
+	// BoundPruned: the row's true maximum might hide in that pruned wave —
+	// but the bound is below the cutoff, so the row provably cannot rank
+	// in the top K, and the proven bound is surfaced instead of a
+	// potentially-wrong winner. (When the row DOES rank top-K, every bound
+	// below the cutoff is below the winner too, so the flag never fires
+	// and the winner is exact.)
 	var out []Candidate
 	i := 0
 	for pi := range space.PD {
@@ -783,18 +1042,87 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 			out = append(out, measured[i])
 		}
 		var bestWave *Candidate
+		maxBound := 0.0
 		for ; i < len(tasks) && tasks[i].pd == pi; i++ {
+			if c := measured[i]; c.BoundPruned && c.Bound > maxBound {
+				maxBound = c.Bound
+			}
 			if bestWave == nil || measured[i].Throughput > bestWave.Throughput {
 				cc := measured[i]
 				bestWave = &cc
 			}
 		}
 		if bestWave != nil {
+			if maxBound > bestWave.Throughput {
+				bestWave.BoundPruned = true
+				bestWave.Bound = maxBound
+			}
 			out = append(out, *bestWave)
 		}
 	}
 
 	return out
+}
+
+// sweepTask is one grid cell of a sweep with its layout-time derivatives.
+type sweepTask struct {
+	plan Plan
+	pd   int  // index into space.PD
+	wave bool // part of the per-(P,D) Hanayo wave sweep
+	slot int  // output-row index (wave groups share one row)
+	// ub is the proven total-throughput upper bound (D·B·MicroRows over
+	// costmodel.LowerBound) steering a branch-and-bound sweep; +Inf when
+	// TopK == 0 or the bound is unavailable for this cell's shape.
+	ub float64
+	// gk/hk are the cross-sweep cache key and its stable digest, computed
+	// once per cell per sweep (valid only under a Tuner).
+	gk tunerKey
+	hk uint64
+}
+
+// evalBounded measures one cell of a branch-and-bound sweep (TopK > 0):
+// a sweep-local complete result is served as-is, a cell whose analytic
+// bound strictly loses to the cutoff is skipped outright, and everything
+// else evaluates under the cutoff-derived virtual-clock cap — feeding
+// every complete row value back into the cutoff. The cutoff is read once
+// per cell; it can only have risen by evaluation time, so a stale read
+// merely over-evaluates.
+func evalBounded(tk *sweepTask, cache *sweepCache, own *evaluator, prune bool, t *Tuner, sr *sweepRemote, cut *cutoffState) Candidate {
+	plan := tk.plan
+	k := schedKey{plan.Scheme, plan.P, plan.B}
+	if es, err, ok := cache.peekFull(k); ok {
+		c := candidateFrom(plan, es, err)
+		cut.observe(tk.slot, c.Throughput)
+		return c
+	}
+	co := cut.cutoff()
+	if co > 0 && tk.ub < co {
+		// Provably below at least TopK fully evaluated rows — strictly, so
+		// a tie with the cutoff still evaluates and tie order survives.
+		return boundPrunedCandidate(plan, tk.ub)
+	}
+	var deadline float64
+	if co > 0 {
+		// A run whose per-replica makespan passes this cap scores total
+		// throughput strictly under the cutoff; RunDeadline's abort is
+		// strict too, so a run landing exactly on the cap completes.
+		deadline = float64(plan.D*plan.B*plan.MicroRows) / co
+	}
+	es, err := evalKeyBounded(plan, own, prune, t, tk.gk, tk.hk, sr, deadline)
+	if err == nil && es.boundOnly {
+		return boundPrunedCandidate(plan, es.perReplica*float64(plan.D))
+	}
+	cache.publishFull(k, es, err)
+	c := candidateFrom(plan, es, err)
+	cut.observe(tk.slot, c.Throughput)
+	return c
+}
+
+// boundPrunedCandidate is the outcome of a cell eliminated by the bound:
+// no exact measurement, only the proven total-throughput upper bound.
+func boundPrunedCandidate(plan Plan, bound float64) Candidate {
+	plan.cache = nil
+	return Candidate{Plan: plan, BoundPruned: true, Bound: bound}
 }
 
 // AutoTuneShard evaluates one shard's slice of the candidate grid —
@@ -851,6 +1179,14 @@ func candidateFrom(plan Plan, es *evalShared, err error) Candidate {
 	c := Candidate{Plan: pub}
 	if err != nil {
 		c.Err = err
+		return c
+	}
+	if es.boundOnly {
+		// Defensive: evalBounded intercepts these before they reach a
+		// candidate slot; a boundOnly result must never masquerade as an
+		// exact zero-throughput measurement.
+		c.BoundPruned = true
+		c.Bound = es.perReplica * float64(plan.D)
 		return c
 	}
 	c.PeakGB = es.maxGB

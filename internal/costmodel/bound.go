@@ -1,0 +1,239 @@
+package costmodel
+
+// The analytic makespan lower bound behind the bound-and-prune AutoTune
+// sweep (docs/ARCHITECTURE.md, "Bound-and-prune sweep"): LowerBound proves
+// a floor on any schedule's simulated makespan straight from the same
+// FLOP/byte formulas Cost precomputes — no schedule generation, no
+// simulation, no allocation. The bound composes three certificates, each a
+// dependency-only argument that holds for every executable schedule of the
+// scheme's placement, whatever the op order:
+//
+//  1. Per-device occupancy: a device cannot start computing before the
+//     cheapest forward chain reaching one of its hosted stages completes,
+//     must then serially retire every compute op assigned to it, and after
+//     its final compute (always a backward — each forward's backward runs
+//     later on the same device) the cheapest backward chain below one of
+//     its hosted stages still has to drain.
+//  2. Single-micro critical path: one micro-batch's forward chain followed
+//     by its backward chain, with a communication hop at every
+//     cross-device stage boundary, is a sequential dependency chain.
+//  3. Link occupancy: a directed link serializes its transfers, so a
+//     boundary crossed by n micro-batches keeps its link busy for n
+//     transfer times.
+//
+// The bound mirrors Cost's default knobs (BackwardRatio = 2, uniform
+// stages) — exactly the configuration every sweep evaluation uses — and
+// ignores Options.FlushTime, no-prefetch and unbatched communication,
+// all of which only increase the simulated makespan, so
+// LowerBound ≤ sim makespan holds across every option set (property-
+// tested against sim.Run for all nine schemes).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// Placement families of the nine sweep schemes. The device functions are
+// closed-form (no Mapping is built), which is what keeps the bound
+// allocation-free.
+const (
+	boundStraight    = iota // gpipe, dapple/1f1b: S = P, stage s on device s
+	boundWave               // hanayo-w<W>, chimera-wave: S = 2·W·P wave placement
+	boundChimera            // chimera, gems: S = P, up-pipe micros reversed
+	boundInterleaved        // interleaved-v<V>: S = V·P round-robin
+)
+
+// boundShape is one scheme's placement resolved to closed form: stage
+// count, pipe count (2 for the bidirectional Chimera/GEMS placements,
+// where even micros run the down pipe and odd micros the up pipe — the
+// generator's m%2 convention) and the stage→device function.
+type boundShape struct {
+	kind  int
+	p, s  int
+	pipes int
+}
+
+// dev returns the device executing stage in the given pipe (pipe is
+// always 0 for micro-independent placements).
+func (sh boundShape) dev(pipe, stage int) int {
+	switch sh.kind {
+	case boundStraight:
+		return stage
+	case boundWave:
+		return sched.WaveStageDevice(sh.p, stage)
+	case boundChimera:
+		if pipe == 0 {
+			return stage
+		}
+		return sh.p - 1 - stage
+	default: // boundInterleaved
+		return stage % sh.p
+	}
+}
+
+// micros returns how many of the b micro-batches run in the given pipe.
+func (sh boundShape) micros(pipe, b int) int {
+	if sh.pipes == 1 {
+		return b
+	}
+	if pipe == 0 {
+		return (b + 1) / 2 // even micros (m%2 == 0)
+	}
+	return b / 2
+}
+
+// boundSuffixInt parses name as prefix followed by a positive decimal
+// integer (sched's scheme-name convention), rejecting anything else.
+func boundSuffixInt(name, prefix string) (int, bool) {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for i := len(prefix); i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// boundShapeFor resolves a scheme name to its closed-form placement,
+// mirroring sched's name set and its even-B requirement for the
+// bidirectional placements.
+func boundShapeFor(scheme string, p, b int) (boundShape, error) {
+	switch scheme {
+	case "gpipe", "dapple", "1f1b":
+		return boundShape{kind: boundStraight, p: p, s: p, pipes: 1}, nil
+	case "chimera", "gems":
+		if b%2 != 0 {
+			return boundShape{}, fmt.Errorf("costmodel: %s needs an even micro-batch count, got %d", scheme, b)
+		}
+		return boundShape{kind: boundChimera, p: p, s: p, pipes: 2}, nil
+	case "chimera-wave":
+		return boundShape{kind: boundWave, p: p, s: 2 * p, pipes: 1}, nil
+	}
+	if w, ok := boundSuffixInt(scheme, "hanayo-w"); ok && w > 0 {
+		return boundShape{kind: boundWave, p: p, s: 2 * w * p, pipes: 1}, nil
+	}
+	if v, ok := boundSuffixInt(scheme, "interleaved-v"); ok && v > 0 {
+		return boundShape{kind: boundInterleaved, p: p, s: v * p, pipes: 1}, nil
+	}
+	return boundShape{}, fmt.Errorf("costmodel: no analytic bound for scheme %q", scheme)
+}
+
+// LowerBound returns a proven lower bound on the per-replica simulated
+// makespan (seconds) of scheme on p pipeline devices × d replicas of cl
+// with b micro-batches of w.MicroRows sequences — computed from the same
+// FLOP/byte formulas as Cost, with no schedule generation and no
+// simulation. The bound assumes Cost's defaults (BackwardRatio 2, uniform
+// stages), which is what every sweep evaluation runs; it is valid for
+// every sim.Options (FlushTime, no-prefetch and unbatched communication
+// only increase the makespan). d participates only in validation: the
+// per-replica simulation is D-invariant, and callers convert to a total-
+// throughput upper bound as d·b·MicroRows / LowerBound.
+//
+// The bound allocates nothing (pinned by TestLowerBoundAllocsZero);
+// errors are reserved for invalid shapes and unknown schemes.
+func LowerBound(w Workload, cl *cluster.Cluster, p, d, b int, scheme string) (float64, error) {
+	if p <= 0 || d <= 0 || b <= 0 || w.MicroRows <= 0 {
+		return 0, fmt.Errorf("costmodel: P, D, B, MicroRows must be positive (got %d,%d,%d,%d)", p, d, b, w.MicroRows)
+	}
+	if p*d > cl.N() {
+		return 0, fmt.Errorf("costmodel: bound needs %d devices, cluster has %d", p*d, cl.N())
+	}
+	sh, err := boundShapeFor(scheme, p, b)
+	if err != nil {
+		return 0, err
+	}
+
+	// Per-stage forward FLOPs under the uniform-stage default; tf(dev) =
+	// flops/Flops(dev), tb = 2·tf (Cost's default BackwardRatio).
+	stageFLOPs := float64(w.Model.Layers) / float64(sh.s) * LayerForwardFLOPs(w.Model, w.MicroRows)
+	actBytes := ActivationBytes(w.Model, w.MicroRows)
+
+	lb := 0.0
+	// Certificates 2 and 3: one pass per pipe over the stage chain
+	// accumulates the single-micro critical path (forward chain + backward
+	// chain + both communication hops at every cross-device boundary) and
+	// the busiest-link bound (count·CommTime per direction).
+	for pipe := 0; pipe < sh.pipes; pipe++ {
+		cnt := sh.micros(pipe, b)
+		if cnt == 0 {
+			continue
+		}
+		chain := 0.0
+		prev := -1
+		for s := 0; s < sh.s; s++ {
+			dv := sh.dev(pipe, s)
+			tf := stageFLOPs / cl.Flops(dv)
+			chain += 3 * tf // tf + tb
+			if s > 0 && prev != dv {
+				act := cl.CommTime(prev, dv, actBytes)  // forward activation hop
+				grad := cl.CommTime(dv, prev, actBytes) // backward gradient hop
+				chain += act + grad
+				if lk := float64(cnt) * act; lk > lb {
+					lb = lk
+				}
+				if lk := float64(cnt) * grad; lk > lb {
+					lb = lk
+				}
+			}
+			prev = dv
+		}
+		if chain > lb {
+			lb = chain
+		}
+	}
+
+	// Certificate 1, per device dd: earliest possible first-compute start
+	// (cheapest forward-chain prefix into a hosted stage), plus its total
+	// assigned compute, plus the cheapest backward-chain drain below a
+	// hosted stage. The prefix sums are carried incrementally so the whole
+	// certificate is O(P·S) with no per-device arrays.
+	for dd := 0; dd < p; dd++ {
+		busy := 0.0
+		earliest, drain := math.Inf(1), math.Inf(1)
+		for pipe := 0; pipe < sh.pipes; pipe++ {
+			cnt := sh.micros(pipe, b)
+			if cnt == 0 {
+				continue
+			}
+			fwdPre, bwdPre := 0.0, 0.0 // chain cost before stage s (fwd) / below it (bwd)
+			prev := -1
+			for s := 0; s < sh.s; s++ {
+				dv := sh.dev(pipe, s)
+				tf := stageFLOPs / cl.Flops(dv)
+				if s > 0 && prev != dv {
+					fwdPre += cl.CommTime(prev, dv, actBytes)
+					bwdPre += cl.CommTime(dv, prev, actBytes)
+				}
+				if dv == dd {
+					busy += float64(cnt) * 3 * tf
+					if fwdPre < earliest {
+						earliest = fwdPre
+					}
+					if bwdPre < drain {
+						drain = bwdPre
+					}
+				}
+				fwdPre += tf
+				bwdPre += 2 * tf
+				prev = dv
+			}
+		}
+		if busy > 0 {
+			if db := earliest + busy + drain; db > lb {
+				lb = db
+			}
+		}
+	}
+	return lb, nil
+}

@@ -32,6 +32,13 @@ var AutoTuneWorkers int
 // infeasibility) instead of the full-iteration peak.
 var AutoTunePrune bool
 
+// AutoTuneTopK, when positive, runs the fig10 search as a bound-and-prune
+// branch-and-bound (SearchSpace.TopK): the first TopK ranks stay exact
+// while provably losing cells skip or abort their simulation, reporting
+// only a proven throughput upper bound. cmd/hanayo-bench threads its
+// -topk flag here.
+var AutoTuneTopK int
+
 func register(name, title string, run func(w io.Writer) error) {
 	registry[name] = Experiment{Name: name, Title: title, Run: run}
 }

@@ -152,6 +152,7 @@ func fig10(w io.Writer) error {
 		MicroRows: 2, // batch sized to press against the 40 GB limit (§5.3)
 		Workers:   AutoTuneWorkers,
 		Prune:     AutoTunePrune,
+		TopK:      AutoTuneTopK,
 	})
 	fmt.Fprintf(w, "%-14s %6s %4s %12s %9s %5s\n", "scheme", "P", "D", "seq/s", "peakGB", "OOM")
 	for _, c := range cands {
@@ -159,6 +160,10 @@ func fig10(w io.Writer) error {
 		thr := fmt.Sprintf("%.3f", c.Throughput)
 		if c.OOM {
 			oom, thr = "OOM", "-"
+		}
+		if c.BoundPruned {
+			// Eliminated by the TopK bound: only the proven ceiling is known.
+			thr = fmt.Sprintf("<%.3f", c.Bound)
 		}
 		if c.Err != nil {
 			thr = "err"

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/exec"
@@ -123,6 +124,12 @@ type transfer struct {
 	link     int // src*P+dst, recorded at issue/post time
 }
 
+// errDeadline is the internal sentinel a deadline-capped run's hooks
+// return the moment any device clock passes the cap; the cooperative
+// driver aborts the walk and RunDeadline translates it into the exceeded
+// verdict — the timing twin of memtrace's budget early exit.
+var errDeadline = errors.New("sim: deadline exceeded")
+
 // backend is the timing implementation of exec.Backend: virtual per-device
 // clocks, a transfer table with link serialization, and the Fig 7 zone
 // decomposition of every wait. All per-op state lives in flat preallocated
@@ -133,6 +140,10 @@ type backend struct {
 	cost Cost
 	opt  Options
 	res  *Result
+	// deadline, when positive, aborts the walk as soon as a device clock
+	// exceeds it (strictly: a run finishing exactly at the cap completes,
+	// so throughput ties with a pruning cutoff are never lost).
+	deadline float64
 
 	// transfers is indexed by transferIdx(kind, micro, stage): 2·B·S slots.
 	// A directed link's sends resolve in issue order; since a directed link
@@ -240,6 +251,11 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 	} else {
 		b.liveActs[d]--
 	}
+	if b.deadline > 0 && end > b.deadline {
+		// State is already advanced, so the partial result ends at (and
+		// includes) the op that proved the cap unreachable.
+		return start, end, errDeadline
+	}
 	return start, end, nil
 }
 
@@ -304,6 +320,9 @@ func (b *backend) Recv(d, idx int, a sched.Action) error {
 		z = b.classify(d, idx+1)
 	}
 	b.wait(d, tr.arrival, z)
+	if b.deadline > 0 && b.time[d] > b.deadline {
+		return errDeadline
+	}
 	return nil
 }
 
@@ -320,11 +339,17 @@ func (b *backend) Drain(d, idx int, a sched.Action) error {
 		return exec.ErrBlocked
 	}
 	b.wait(d, tr.arrival, ZoneCross)
+	if b.deadline > 0 && b.time[d] > b.deadline {
+		return errDeadline
+	}
 	return nil
 }
 
 func (b *backend) Flush(d int, a sched.Action) error {
 	b.time[d] += b.opt.FlushTime
+	if b.deadline > 0 && b.time[d] > b.deadline {
+		return errDeadline
+	}
 	return nil
 }
 
@@ -356,6 +381,28 @@ func NewRunner() *Runner { return &Runner{} }
 // interpreter, reusing the Runner's arenas. The returned Result is owned
 // by the Runner and valid only until the next Run.
 func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
+	res, _, err := r.run(s, cost, opt, 0)
+	return res, err
+}
+
+// RunDeadline is the timing twin of memtrace.Replayer.RunBudget: it
+// executes the schedule like Run but aborts the cooperative walk the
+// moment any device's virtual clock strictly exceeds cap seconds. It
+// returns (result, exceeded, err); when exceeded is true the result is
+// partial — its Makespan is the clock high-water mark at abort, a proven
+// lower bound on the full run's makespan (device clocks only move
+// forward) — and its Records/Zones cover only the executed prefix. A run
+// finishing exactly at cap completes normally, so a throughput tie with a
+// pruning cutoff is never lost. The abort path allocates nothing in
+// steady state (pinned alongside Run's 0 allocs/op regression test).
+func (r *Runner) RunDeadline(s *sched.Schedule, cost Cost, opt Options, cap float64) (*Result, bool, error) {
+	if cap <= 0 {
+		return nil, false, fmt.Errorf("sim: RunDeadline cap must be positive, got %g", cap)
+	}
+	return r.run(s, cost, opt, cap)
+}
+
+func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64) (*Result, bool, error) {
 	p := s.P
 	res := &r.res
 	res.Schedule = s
@@ -367,6 +414,7 @@ func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error)
 	res.PeakActs = exec.Arena(res.PeakActs, p)
 	be := &r.be
 	be.s, be.cost, be.opt, be.res = s, cost, opt, res
+	be.deadline = deadline
 	be.transfers = exec.Arena(be.transfers, 2*s.B*s.S)
 	be.linkFree = exec.Arena(be.linkFree, p*p)
 	be.time = exec.Arena(be.time, p)
@@ -374,7 +422,21 @@ func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error)
 	be.pendingZone = exec.Arena(be.pendingZone, p)
 	recs, err := r.loop.Run(s, be, exec.Options{BatchComm: opt.BatchComm})
 	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		if errors.Is(err, errDeadline) {
+			// Partial result: the executed prefix's timeline and the clock
+			// high-water mark, a proven lower bound on the full makespan.
+			// No tail-idle accounting — the walk never reached the flush
+			// point, so "finished early" is meaningless here.
+			res.Records = recs
+			for d := 0; d < p; d++ {
+				res.End[d] = be.time[d]
+				if be.time[d] > res.Makespan {
+					res.Makespan = be.time[d]
+				}
+			}
+			return res, true, nil
+		}
+		return nil, false, fmt.Errorf("sim: %w", err)
 	}
 	res.Records = recs
 
@@ -388,7 +450,7 @@ func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error)
 	for d := 0; d < p; d++ {
 		res.Zones[ZoneC] += res.Makespan - res.End[d]
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // Run executes the schedule against the cost model through the shared
