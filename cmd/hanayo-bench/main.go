@@ -8,6 +8,9 @@
 //	hanayo-bench -exp fig10 -workers 1   # serial configuration search
 //	hanayo-bench -exp fig10 -prune       # memtrace-first OOM pruning
 //	hanayo-bench -exp fig10 -topk 3      # bound-and-prune: exact top 3 only
+//	hanayo-bench -exp fig10 -straggler 0:0.5      # search with device 0 at half speed
+//	hanayo-bench -exp fig10 -faultplan plan.json  # inject a fault plan into the sweep
+//	hanayo-bench -exp xtr02  # best scheme vs straggler severity table
 //	hanayo-bench -exp fig10 -repeat 20   # steady-state: rerun 20×
 //	hanayo-bench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //	hanayo-bench -json BENCH_3.json      # write the perf-tracking artifact
@@ -31,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
 	prune := flag.Bool("prune", false, "fig10: memtrace-first OOM pruning (infeasible cells skip the timing simulation)")
 	topk := flag.Int("topk", 0, "fig10: bound-and-prune search keeping this many exact ranks (0 = exhaustive)")
+	straggler := flag.String("straggler", "", "fig10: perturb the search cluster, dev:factor (e.g. 0:0.5 runs device 0 at half speed)")
+	faultplan := flag.String("faultplan", "", "fig10: inject a JSON fault plan file into the sweep (events: slowdown/linkdegrade/fail)")
 	repeat := flag.Int("repeat", 1, "run the selected experiments this many times (steady-state profiling); only the last run prints")
 	jsonOut := flag.String("json", "", "run the micro-benchmark suite and write machine-readable results to this file (e.g. BENCH_3.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -47,6 +53,18 @@ func main() {
 	experiments.AutoTuneWorkers = *workers
 	experiments.AutoTunePrune = *prune
 	experiments.AutoTuneTopK = *topk
+	experiments.Straggler = *straggler
+	if *faultplan != "" {
+		data, err := os.ReadFile(*faultplan)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := sim.ParseFaultPlan(data)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.Faults = plan
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {

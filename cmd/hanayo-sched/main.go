@@ -13,6 +13,9 @@
 //	hanayo-sched -scheme gpipe -p 4 -b 4 -lists         # human-readable ops
 //	hanayo-sched -tune -cluster tacc -devices 32 -b 16  # search, then analyze the winner
 //	hanayo-sched -tune -workers 1 -json                 # serial search, dump winning schedule
+//	hanayo-sched -tune -cluster fc:straggler -devices 8 # search a degraded preset
+//	hanayo-sched -tune -straggler 0:0.5                 # ...or perturb any preset ad hoc
+//	hanayo-sched -tune -faultplan plan.json             # search under injected faults
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -37,6 +41,8 @@ func main() {
 	clName := flag.String("cluster", "tacc", "cluster preset for -tune (tacc, tc, pc, fc)")
 	devices := flag.Int("devices", 32, "cluster size for -tune")
 	workers := flag.Int("workers", 0, "AutoTune sweep workers: 0 = one per CPU, 1 = serial")
+	straggler := flag.String("straggler", "", "-tune: perturb the cluster, dev:factor (e.g. 0:0.5)")
+	faultplan := flag.String("faultplan", "", "-tune: inject a JSON fault plan file into the sweep")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -66,9 +72,24 @@ func main() {
 		if cerr != nil {
 			fatal(cerr)
 		}
+		cl, cerr = cluster.ApplyStraggler(cl, *straggler)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		var faults *sim.FaultPlan
+		if *faultplan != "" {
+			data, ferr := os.ReadFile(*faultplan)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			if faults, ferr = sim.ParseFaultPlan(data); ferr != nil {
+				fatal(ferr)
+			}
+		}
 		cands := core.AutoTune(cl, nn.BERTStyle(), core.SearchSpace{
 			B:       *b,
 			Workers: *workers,
+			Faults:  faults,
 		})
 		best, ok := core.Best(cands)
 		if !ok {

@@ -151,6 +151,11 @@ var SimRuns = core.SimRuns
 // sweep costs O(1) round trips" guarantee.
 var CacheFrames = cachewire.Frames
 
+// CacheRetries reports the process-wide count of transient cache-tier
+// failures absorbed by the client's retry loop: rising retries with
+// flat Tuner.RemoteErrors means backoff is riding out a flaky tier.
+var CacheRetries = cachewire.Retries
+
 // Schedules (paper §3–§4.1).
 type (
 	// Schedule is a per-device action-list program.
@@ -272,13 +277,41 @@ var (
 	TinyModel = nn.Tiny
 )
 
-// Cluster presets from the paper's §5.
+// Cluster presets from the paper's §5. ClusterByName also resolves the
+// degraded variants ("fc:straggler", "tacc:slowlink", ...).
 var (
 	TACC          = cluster.TACC
 	Tencent       = cluster.Tencent
 	PartialNVLink = cluster.PartialNVLink
 	FullNVLink    = cluster.FullNVLink
 	ClusterByName = cluster.ByName
+)
+
+// Fault model: static cluster perturbations (stragglers, degraded
+// links — exact in both the simulator and the analytic lower bound) and
+// dynamic fault plans (timed slowdowns, link degradations and device
+// failures injected into the discrete-event walk). A FaultPlan on a
+// Plan or SearchSpace makes failed cells surface as deterministic
+// infeasible verdicts with recovery estimates.
+type (
+	// FaultPlan is a set of timed fault events plus a restart-cost model.
+	FaultPlan = sim.FaultPlan
+	// FaultEvent is one typed fault (slowdown, link degrade, failure).
+	FaultEvent = sim.FaultEvent
+)
+
+var (
+	// SlowDown / LinkDegrade / Fail build the three fault event kinds.
+	SlowDown    = sim.SlowDown
+	LinkDegrade = sim.LinkDegrade
+	Fail        = sim.Fail
+	// ParseFaultPlan reads the -faultplan JSON format.
+	ParseFaultPlan = sim.ParseFaultPlan
+	// ApplyStraggler perturbs a cluster from a "dev:factor" CLI spec.
+	ApplyStraggler = cluster.ApplyStraggler
+	// SpeedBalancedShares sizes stage layer shares by hosting-device
+	// speed on heterogeneous clusters (opt-in, via Cost.Shares).
+	SpeedBalancedShares = costmodel.SpeedBalancedShares
 )
 
 // NewGenerator builds a synthetic workload generator.

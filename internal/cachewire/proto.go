@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -238,15 +240,100 @@ func (sv *Server) handle(conn net.Conn) {
 // buffer and buffered reader, so steady-state round trips allocate
 // nothing. A connection that sees any I/O or protocol error is discarded
 // and the next request dials a fresh one, so a restarted server heals
-// transparently. Every dial and round trip carries a deadline — a
-// black-holed tier (partition, silent packet drop) surfaces as a counted
-// error within opTimeout instead of parking sweep workers on kernel TCP
-// retransmission timeouts, which is what keeps the Tuner's "remote errors
-// degrade, never stall" contract honest.
+// transparently. Every dial and round trip carries its own deadline
+// (dialTimeout / writeTimeout / readTimeout) — a black-holed tier
+// (partition, silent packet drop) surfaces as a counted error within one
+// budget instead of parking sweep workers on kernel TCP retransmission
+// timeouts, which is what keeps the Tuner's "remote errors degrade,
+// never stall" contract honest.
+//
+// Transient transport failures (dial refused, connection reset, deadline
+// expiry) are retried up to clientAttempts times with exponential
+// backoff plus jitter, each attempt on a fresh connection — so a server
+// restart between two requests heals inside one call instead of costing
+// a counted error. Protocol errors (version skew, desync, unexpected
+// status) are never retried: they are deterministic, and hammering a
+// mis-speaking peer only delays the degraded-to-miss verdict. Retried
+// puts are safe by construction: entries are deterministic functions of
+// their key, so replaying a possibly-half-applied MultiPut overwrites
+// byte-identical values (put is idempotent).
 type Client struct {
-	addr string
-	mu   sync.Mutex
-	free []*pconn
+	addr    string
+	mu      sync.Mutex
+	free    []*pconn
+	retries atomic.Int64
+}
+
+// RetryStats reports how many transient-error retries this client has
+// issued since construction — the per-transport companion of
+// core.Tuner.RemoteErrors: a rising retry count with flat RemoteErrors
+// means the backoff is absorbing a flaky tier; both rising means the
+// tier is down harder than clientAttempts can hide.
+func (c *Client) RetryStats() int64 { return c.retries.Load() }
+
+// retriesTotal counts transient-error retries process-wide, across every
+// Client (the package-level twin of Frames).
+var retriesTotal atomic.Int64
+
+// Retries reports the process-wide transport retry count.
+func Retries() int64 { return retriesTotal.Load() }
+
+// permanentError marks a failure retrying cannot fix (protocol or
+// version skew); the retry loop returns it immediately.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// errPermanent wraps a deterministic protocol failure.
+func errPermanent(err error) error { return permanentError{err: err} }
+
+// Retry policy: clientAttempts total tries per operation, exponential
+// backoff from retryBaseDelay with up to 50% random jitter (decorrelates
+// a worker fleet hammering one recovering server), capped by the dial
+// and I/O deadlines each attempt already carries.
+const (
+	clientAttempts = 3
+	retryBaseDelay = 5 * time.Millisecond
+)
+
+// retryDelay is the pre-attempt sleep: base·2^(attempt-1), plus jitter.
+func retryDelay(attempt int) time.Duration {
+	d := retryBaseDelay << (attempt - 1)
+	return d + time.Duration(rand.Int64N(int64(d)/2+1))
+}
+
+// withRetry runs op on a pooled (or freshly dialed) connection,
+// retrying transient failures on a fresh connection after a backoff. op
+// must neither close the connection nor check it back in: withRetry
+// closes it on any error return (an errored connection may hold
+// undrained response bytes and can never be pooled) and pools it after
+// a clean return.
+func (c *Client) withRetry(op func(p *pconn) error) error {
+	var err error
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			retriesTotal.Add(1)
+			time.Sleep(retryDelay(attempt))
+		}
+		var p *pconn
+		p, err = c.checkout()
+		if err != nil {
+			continue // dial failure: transient by definition
+		}
+		err = op(p)
+		if err == nil {
+			c.checkin(p)
+			return nil
+		}
+		p.c.Close()
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+	}
+	return err
 }
 
 // pconn is one pooled connection with its owned I/O state: buf builds
@@ -264,15 +351,29 @@ func newPconn(c net.Conn) *pconn {
 	return &pconn{c: c, br: bufio.NewReaderSize(c, 1<<12), buf: make([]byte, 0, 64)}
 }
 
-// opTimeout bounds one dial or one request/response exchange. Requests
-// are a handful of bytes against an in-memory map, so seconds of budget
-// is pure safety margin, not a tuning knob.
-const opTimeout = 5 * time.Second
+// Timeouts: one per phase, so a stall is attributed to the phase that
+// hung. Requests are a handful of bytes against an in-memory map, so
+// seconds of budget is pure safety margin, not a tuning knob.
+const (
+	dialTimeout  = 5 * time.Second // establishing a fresh connection
+	writeTimeout = 5 * time.Second // flushing one request frame
+	readTimeout  = 5 * time.Second // draining one response
+)
+
+// arm sets the per-phase deadlines for one request/response exchange:
+// the write deadline covers the request flush, the read deadline the
+// whole response drain (set once here, not per chunk — a response is one
+// server write, so a healthy tier delivers it within one budget).
+func (p *pconn) arm() {
+	now := time.Now()
+	p.c.SetWriteDeadline(now.Add(writeTimeout))
+	p.c.SetReadDeadline(now.Add(writeTimeout + readTimeout))
+}
 
 // Dial validates addr by establishing (and pooling) one connection and
 // returns the client.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, opTimeout)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("cachewire: dial %s: %w", addr, err)
 	}
@@ -288,7 +389,7 @@ func (c *Client) checkout() (*pconn, error) {
 		return p, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, opTimeout)
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -303,72 +404,68 @@ func (c *Client) checkin(p *pconn) {
 
 // Get implements Cache.
 func (c *Client) Get(key uint64) (Entry, bool, error) {
-	p, err := c.checkout()
-	if err != nil {
-		return Entry{}, false, err
-	}
-	p.c.SetDeadline(time.Now().Add(opTimeout))
-	p.buf = append(p.buf[:0], opGet)
-	p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
-	frames.Add(1)
-	if _, err := p.c.Write(p.buf); err != nil {
-		p.c.Close()
-		return Entry{}, false, err
-	}
-	status, err := p.br.ReadByte()
-	if err != nil {
-		p.c.Close()
-		return Entry{}, false, err
-	}
-	switch status {
-	case statusMiss:
-		c.checkin(p)
-		return Entry{}, false, nil
-	case statusHit:
-		p.buf = grow(p.buf, EntrySize)
-		if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
-			p.c.Close()
-			return Entry{}, false, err
+	var out Entry
+	var hit bool
+	err := c.withRetry(func(p *pconn) error {
+		p.arm()
+		p.buf = append(p.buf[:0], opGet)
+		p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
+		frames.Add(1)
+		if _, err := p.c.Write(p.buf); err != nil {
+			return err
 		}
-		e, err := DecodeEntry(p.buf[:EntrySize])
+		status, err := p.br.ReadByte()
 		if err != nil {
-			p.c.Close()
-			return Entry{}, false, err
+			return err
 		}
-		c.checkin(p)
-		return e, true, nil
-	default:
-		p.c.Close()
-		return Entry{}, false, fmt.Errorf("cachewire: unexpected get status %d", status)
+		switch status {
+		case statusMiss:
+			out, hit = Entry{}, false
+			return nil
+		case statusHit:
+			p.buf = grow(p.buf, EntrySize)
+			if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
+				return err
+			}
+			e, err := DecodeEntry(p.buf[:EntrySize])
+			if err != nil {
+				return errPermanent(err) // version skew: deterministic
+			}
+			out, hit = e, true
+			return nil
+		default:
+			return errPermanent(fmt.Errorf("cachewire: unexpected get status %d", status))
+		}
+	})
+	if err != nil {
+		return Entry{}, false, err
 	}
+	return out, hit, nil
 }
 
-// Put implements Cache.
+// Put implements Cache. Puts are idempotent (entries are deterministic
+// functions of their key), so a retried put after an ambiguous failure —
+// request flushed, response lost — is safe: the replay overwrites the
+// same bytes.
 func (c *Client) Put(key uint64, e Entry) error {
-	p, err := c.checkout()
-	if err != nil {
-		return err
-	}
-	p.c.SetDeadline(time.Now().Add(opTimeout))
-	p.buf = append(p.buf[:0], opPut)
-	p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
-	p.buf = AppendEntry(p.buf, e)
-	frames.Add(1)
-	if _, err := p.c.Write(p.buf); err != nil {
-		p.c.Close()
-		return err
-	}
-	status, err := p.br.ReadByte()
-	if err != nil {
-		p.c.Close()
-		return err
-	}
-	if status != statusOK {
-		p.c.Close()
-		return fmt.Errorf("cachewire: unexpected put status %d", status)
-	}
-	c.checkin(p)
-	return nil
+	return c.withRetry(func(p *pconn) error {
+		p.arm()
+		p.buf = append(p.buf[:0], opPut)
+		p.buf = binary.LittleEndian.AppendUint64(p.buf, key)
+		p.buf = AppendEntry(p.buf, e)
+		frames.Add(1)
+		if _, err := p.c.Write(p.buf); err != nil {
+			return err
+		}
+		status, err := p.br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if status != statusOK {
+			return errPermanent(fmt.Errorf("cachewire: unexpected put status %d", status))
+		}
+		return nil
+	})
 }
 
 // MultiGet implements BatchCache: one round trip resolves the whole key
@@ -394,57 +491,59 @@ func (c *Client) MultiGet(keys []uint64, out []Entry, ok []bool) error {
 }
 
 func (c *Client) multiGet(keys []uint64, out []Entry, ok []bool) error {
-	p, err := c.checkout()
-	if err != nil {
-		return err
-	}
-	p.c.SetDeadline(time.Now().Add(opTimeout))
-	p.buf = appendMultiGetRequest(p.buf[:0], keys)
-	frames.Add(1)
-	if _, err := p.c.Write(p.buf); err != nil {
-		p.c.Close()
-		return err
-	}
-	p.buf = grow(p.buf, 5) // status + echoed count
-	if _, err := io.ReadFull(p.br, p.buf[:5]); err != nil {
-		p.c.Close()
-		return err
-	}
-	if p.buf[0] != statusMulti {
-		p.c.Close()
-		return fmt.Errorf("cachewire: unexpected multiget status %d", p.buf[0])
-	}
-	if n := binary.LittleEndian.Uint32(p.buf[1:5]); int(n) != len(keys) {
-		p.c.Close()
-		return fmt.Errorf("cachewire: multiget response carries %d keys, want %d", n, len(keys))
-	}
-	for i := range keys {
-		marker, err := p.br.ReadByte()
-		if err != nil {
-			p.c.Close()
+	return c.withRetry(func(p *pconn) error {
+		// A retried chunk restates the whole request; gets are read-only,
+		// so replaying after a half-read response is trivially safe. Reset
+		// this chunk's hit markers in case a prior attempt filled some.
+		for i := range ok {
+			out[i], ok[i] = Entry{}, false
+		}
+		p.arm()
+		p.buf = appendMultiGetRequest(p.buf[:0], keys)
+		frames.Add(1)
+		if _, err := p.c.Write(p.buf); err != nil {
 			return err
 		}
-		switch marker {
-		case 0:
-		case 1:
-			p.buf = grow(p.buf, EntrySize)
-			if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
-				p.c.Close()
-				return err
-			}
-			e, err := DecodeEntry(p.buf[:EntrySize])
-			if err != nil {
-				p.c.Close()
-				return err
-			}
-			out[i], ok[i] = e, true
-		default:
-			p.c.Close()
-			return fmt.Errorf("cachewire: unknown multiget marker %d", marker)
+		// Status is checked before the count is read: a wrong status byte
+		// is a protocol desync (permanent) even if the peer hangs up right
+		// after it, and must not be retried as if it were a transport blip.
+		status, err := p.br.ReadByte()
+		if err != nil {
+			return err
 		}
-	}
-	c.checkin(p)
-	return nil
+		if status != statusMulti {
+			return errPermanent(fmt.Errorf("cachewire: unexpected multiget status %d", status))
+		}
+		p.buf = grow(p.buf, 4) // echoed count
+		if _, err := io.ReadFull(p.br, p.buf[:4]); err != nil {
+			return err
+		}
+		if n := binary.LittleEndian.Uint32(p.buf[:4]); int(n) != len(keys) {
+			return errPermanent(fmt.Errorf("cachewire: multiget response carries %d keys, want %d", n, len(keys)))
+		}
+		for i := range keys {
+			marker, err := p.br.ReadByte()
+			if err != nil {
+				return err
+			}
+			switch marker {
+			case 0:
+			case 1:
+				p.buf = grow(p.buf, EntrySize)
+				if _, err := io.ReadFull(p.br, p.buf[:EntrySize]); err != nil {
+					return err
+				}
+				e, err := DecodeEntry(p.buf[:EntrySize])
+				if err != nil {
+					return errPermanent(err)
+				}
+				out[i], ok[i] = e, true
+			default:
+				return errPermanent(fmt.Errorf("cachewire: unknown multiget marker %d", marker))
+			}
+		}
+		return nil
+	})
 }
 
 // MultiPut implements BatchCache: one round trip publishes the whole
@@ -464,28 +563,26 @@ func (c *Client) MultiPut(keys []uint64, entries []Entry) error {
 }
 
 func (c *Client) multiPut(keys []uint64, entries []Entry) error {
-	p, err := c.checkout()
-	if err != nil {
-		return err
-	}
-	p.c.SetDeadline(time.Now().Add(opTimeout))
-	p.buf = appendMultiPutRequest(p.buf[:0], keys, entries)
-	frames.Add(1)
-	if _, err := p.c.Write(p.buf); err != nil {
-		p.c.Close()
-		return err
-	}
-	status, err := p.br.ReadByte()
-	if err != nil {
-		p.c.Close()
-		return err
-	}
-	if status != statusOK {
-		p.c.Close()
-		return fmt.Errorf("cachewire: unexpected multiput status %d", status)
-	}
-	c.checkin(p)
-	return nil
+	return c.withRetry(func(p *pconn) error {
+		// Replaying a chunk whose response was lost may re-store entries
+		// the server already applied; puts are idempotent (each key's
+		// entry is a deterministic function of the key), so the replay
+		// overwrites byte-identical values.
+		p.arm()
+		p.buf = appendMultiPutRequest(p.buf[:0], keys, entries)
+		frames.Add(1)
+		if _, err := p.c.Write(p.buf); err != nil {
+			return err
+		}
+		status, err := p.br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if status != statusOK {
+			return errPermanent(fmt.Errorf("cachewire: unexpected multiput status %d", status))
+		}
+		return nil
+	})
 }
 
 // Close drops every pooled connection.

@@ -2,11 +2,13 @@ package cachewire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Ring replicates the cache tier over N nodes by client-side consistent
@@ -25,10 +27,23 @@ import (
 // repair as they go: a hit on replica B back-fills the earlier replicas
 // that cleanly missed, so entries published while a node was down
 // converge back onto it after restart.
+//
+// A node that keeps failing is gated rather than hammered: after a
+// failure, operations skip it (counted in NodeErrors.Skipped, not
+// Errors) until a probe deadline elapses; the probe gap starts at
+// probeGapBase and doubles per consecutive failure up to probeGapCap,
+// so a dead node costs each sweep worker at most one dial timeout per
+// probe window instead of one per operation. The first operation after
+// the gap is the probe — if it succeeds the node is fully restored (and
+// read repair refills it), if it fails the gate re-arms with a longer
+// gap. Gating state is per-Ring and atomically maintained, so a fleet
+// of sweep goroutines sharing one Ring converges on skipping a dead
+// node without coordination.
 type Ring struct {
 	nodes       []*ringMember
 	points      []ringPoint // sorted by (hash, node): the circle
 	replication int
+	now         func() int64 // monotonic-enough clock for probe gates; swapped in tests
 }
 
 // RingNode declares one member for NewRing: a stable name (its identity
@@ -39,17 +54,61 @@ type RingNode struct {
 	Cache Cache
 }
 
-// NodeErrors is one node's failure count, reported by Ring.Errors in
-// construction order.
+// NodeErrors is one node's failure counters, reported by Ring.Errors in
+// construction order: Errors counts operations that reached the node
+// and failed, Skipped counts operations the probe gate diverted without
+// touching it. A dead node shows a short burst of Errors and a long
+// tail of Skipped; Errors alone rising means the node is reachable but
+// misbehaving.
 type NodeErrors struct {
-	Name   string
-	Errors int64
+	Name    string
+	Errors  int64
+	Skipped int64
 }
 
 type ringMember struct {
-	name string
-	c    Cache
-	errs atomic.Int64
+	name       string
+	c          Cache
+	errs       atomic.Int64
+	skips      atomic.Int64
+	failStreak atomic.Int64 // consecutive failures; 0 = healthy
+	nextProbe  atomic.Int64 // clock value gating the next attempt while failing
+}
+
+// Probe-gate pacing: the first retry after a failure waits probeGapBase;
+// each further consecutive failure doubles the gap up to probeGapCap.
+const (
+	probeGapBase = int64(100 * time.Millisecond)
+	probeGapCap  = int64(5 * time.Second)
+)
+
+// errNodeDown marks an operation that found every replica gated: the
+// tier did not fail right now — it is known-dead and being paced.
+var errNodeDown = errors.New("cachewire: ring node gated after repeated failures")
+
+// available reports whether n should be attempted: healthy, or failing
+// but due for a probe.
+func (r *Ring) available(n *ringMember) bool {
+	return n.failStreak.Load() == 0 || r.now() >= n.nextProbe.Load()
+}
+
+// fail records an operation failure against n and (re-)arms its probe
+// gate with the streak's doubled gap.
+func (r *Ring) fail(n *ringMember) {
+	n.errs.Add(1)
+	streak := n.failStreak.Add(1)
+	gap := probeGapCap
+	if streak < 7 { // probeGapBase<<6 already exceeds the cap
+		gap = min(probeGapBase<<(streak-1), probeGapCap)
+	}
+	n.nextProbe.Store(r.now() + gap)
+}
+
+// okay clears n's probe gate after a successful operation.
+func (n *ringMember) okay() {
+	if n.failStreak.Load() != 0 {
+		n.failStreak.Store(0)
+	}
 }
 
 type ringPoint struct {
@@ -77,7 +136,7 @@ func NewRing(replication int, nodes ...RingNode) (*Ring, error) {
 	if replication > len(nodes) {
 		replication = len(nodes)
 	}
-	r := &Ring{replication: replication}
+	r := &Ring{replication: replication, now: func() int64 { return time.Now().UnixNano() }}
 	seen := map[string]bool{}
 	for i, n := range nodes {
 		if n.Name == "" {
@@ -166,7 +225,7 @@ func (r *Ring) Replication() int { return r.replication }
 func (r *Ring) Errors() []NodeErrors {
 	out := make([]NodeErrors, len(r.nodes))
 	for i, n := range r.nodes {
-		out[i] = NodeErrors{Name: n.name, Errors: n.errs.Load()}
+		out[i] = NodeErrors{Name: n.name, Errors: n.errs.Load(), Skipped: n.skips.Load()}
 	}
 	return out
 }
@@ -204,22 +263,30 @@ func (r *Ring) replicasFor(key uint64, dst []int) []int {
 func (r *Ring) Get(key uint64) (Entry, bool, error) {
 	reps := r.replicasFor(key, make([]int, 0, r.replication))
 	missed := make([]int, 0, len(reps))
-	var lastErr error
+	lastErr := errNodeDown
 	for _, ni := range reps {
 		n := r.nodes[ni]
+		if !r.available(n) {
+			n.skips.Add(1)
+			continue
+		}
 		e, hit, err := n.c.Get(key)
 		if err != nil {
-			n.errs.Add(1)
+			r.fail(n)
 			lastErr = err
 			continue
 		}
+		n.okay()
 		if !hit {
 			missed = append(missed, ni)
 			continue
 		}
 		for _, mi := range missed {
-			if perr := r.nodes[mi].c.Put(key, e); perr != nil {
-				r.nodes[mi].errs.Add(1)
+			m := r.nodes[mi]
+			if perr := m.c.Put(key, e); perr != nil {
+				r.fail(m)
+			} else {
+				m.okay()
 			}
 		}
 		return e, true, nil
@@ -236,13 +303,19 @@ func (r *Ring) Get(key uint64) (Entry, bool, error) {
 func (r *Ring) Put(key uint64, e Entry) error {
 	reps := r.replicasFor(key, make([]int, 0, r.replication))
 	stored := false
-	var lastErr error
+	lastErr := errNodeDown
 	for _, ni := range reps {
-		if err := r.nodes[ni].c.Put(key, e); err != nil {
-			r.nodes[ni].errs.Add(1)
+		n := r.nodes[ni]
+		if !r.available(n) {
+			n.skips.Add(1)
+			continue
+		}
+		if err := n.c.Put(key, e); err != nil {
+			r.fail(n)
 			lastErr = err
 			continue
 		}
+		n.okay()
 		stored = true
 	}
 	if stored {
@@ -291,6 +364,18 @@ func (r *Ring) MultiGet(keys []uint64, out []Entry, ok []bool) error {
 		for _, ni := range sortedNodeIDs(byNode) {
 			kis := byNode[ni]
 			n := r.nodes[ni]
+			if !r.available(n) {
+				// Gated node: divert its keys to their next replica without
+				// touching it. It is treated like a failed node for repair
+				// purposes — no back-fill into a node known to be down.
+				n.skips.Add(1)
+				failed[ni] = true
+				if lastErr == nil {
+					lastErr = errNodeDown
+				}
+				next = append(next, kis...)
+				continue
+			}
 			bk := make([]uint64, len(kis))
 			for j, ki := range kis {
 				bk[j] = keys[ki]
@@ -298,12 +383,13 @@ func (r *Ring) MultiGet(keys []uint64, out []Entry, ok []bool) error {
 			bo := make([]Entry, len(kis))
 			bok := make([]bool, len(kis))
 			if err := GetBatch(n.c, bk, bo, bok); err != nil {
-				n.errs.Add(1)
+				r.fail(n)
 				failed[ni] = true
 				lastErr = err
 				next = append(next, kis...)
 				continue
 			}
+			n.okay()
 			for j, ki := range kis {
 				if bok[j] {
 					out[ki], ok[ki] = bo[j], true
@@ -333,8 +419,11 @@ func (r *Ring) MultiGet(keys []uint64, out []Entry, ok []bool) error {
 		}
 	}
 	for _, ni := range sortedNodeIDs(repairK) {
-		if err := PutBatch(r.nodes[ni].c, repairK[ni], repairE[ni]); err != nil {
-			r.nodes[ni].errs.Add(1)
+		n := r.nodes[ni]
+		if err := PutBatch(n.c, repairK[ni], repairE[ni]); err != nil {
+			r.fail(n)
+		} else {
+			n.okay()
 		}
 	}
 	// Only a key that every replica failed to answer leaves the error
@@ -369,13 +458,19 @@ func (r *Ring) MultiPut(keys []uint64, entries []Entry) error {
 		}
 	}
 	stored := false
-	var lastErr error
+	lastErr := errNodeDown
 	for _, ni := range sortedNodeIDs(byK) {
-		if err := PutBatch(r.nodes[ni].c, byK[ni], byE[ni]); err != nil {
-			r.nodes[ni].errs.Add(1)
+		n := r.nodes[ni]
+		if !r.available(n) {
+			n.skips.Add(1)
+			continue
+		}
+		if err := PutBatch(n.c, byK[ni], byE[ni]); err != nil {
+			r.fail(n)
 			lastErr = err
 			continue
 		}
+		n.okay()
 		stored = true
 	}
 	if stored {

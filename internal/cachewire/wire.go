@@ -45,12 +45,22 @@ type Entry struct {
 	MaxGB      float64 // peak per-device footprint
 	Fits       bool    // fits every device with the standard headroom
 	Pruned     bool    // OOM decided by the memtrace front end; no sim ran
+	// Failed marks a deterministic infeasible verdict under the sweep's
+	// fault plan (a device died mid-schedule). Only the verdict bit
+	// crosses the wire; the failure diagnostics (device, time, recovery
+	// estimate) stay with the measuring process — they inform operators,
+	// not the ranking, which needs only "this cell cannot complete".
+	Failed bool
 }
 
-// Flag bits of the encoded entry's second byte.
+// Flag bits of the encoded entry's second byte. Decoders built before a
+// bit existed reject entries carrying it (the strict mask below), so
+// adding a flag is forward-safe: old builds degrade to misses instead of
+// misreading new verdicts.
 const (
 	flagFits   = 1 << 0
 	flagPruned = 1 << 1
+	flagFailed = 1 << 2
 )
 
 // AppendEntry appends the encoded form of e to dst and returns the
@@ -64,6 +74,9 @@ func AppendEntry(dst []byte, e Entry) []byte {
 	}
 	if e.Pruned {
 		flags |= flagPruned
+	}
+	if e.Failed {
+		flags |= flagFailed
 	}
 	dst = append(dst, Version, flags)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.PerReplica))
@@ -82,7 +95,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 	if b[0] != Version {
 		return Entry{}, fmt.Errorf("cachewire: entry version %d, this build speaks %d", b[0], Version)
 	}
-	if b[1]&^(flagFits|flagPruned) != 0 {
+	if b[1]&^(flagFits|flagPruned|flagFailed) != 0 {
 		return Entry{}, fmt.Errorf("cachewire: unknown flag bits %#x", b[1])
 	}
 	return Entry{
@@ -90,6 +103,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 		MaxGB:      math.Float64frombits(binary.LittleEndian.Uint64(b[10:18])),
 		Fits:       b[1]&flagFits != 0,
 		Pruned:     b[1]&flagPruned != 0,
+		Failed:     b[1]&flagFailed != 0,
 	}, nil
 }
 

@@ -31,6 +31,7 @@ func TestEntryRoundTripProperty(t *testing.T) {
 			MaxGB:      f64(i + 1),
 			Fits:       i&1 != 0,
 			Pruned:     i&2 != 0,
+			Failed:     i&4 != 0,
 		}
 		buf := AppendEntry(nil, in)
 		if len(buf) != EntrySize {
@@ -42,7 +43,7 @@ func TestEntryRoundTripProperty(t *testing.T) {
 		}
 		if math.Float64bits(out.PerReplica) != math.Float64bits(in.PerReplica) ||
 			math.Float64bits(out.MaxGB) != math.Float64bits(in.MaxGB) ||
-			out.Fits != in.Fits || out.Pruned != in.Pruned {
+			out.Fits != in.Fits || out.Pruned != in.Pruned || out.Failed != in.Failed {
 			t.Fatalf("round trip #%d: got %+v, want %+v", i, out, in)
 		}
 	}

@@ -8,6 +8,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -18,6 +20,11 @@ type GPU struct {
 	TFLOPS   float64 // sustained mixed-precision throughput (not peak)
 	NodeID   int     // which host the GPU sits in
 	SocketID int
+	// Speed is a relative speed multiplier applied on top of TFLOPS — the
+	// heterogeneity/straggler knob. 0 (the zero value) means 1.0, so every
+	// pre-existing GPU literal is unperturbed. A straggler at half speed
+	// has Speed 0.5; values above 1 model a faster-than-baseline device.
+	Speed float64
 }
 
 // Cluster is a named set of GPUs plus a link model.
@@ -28,6 +35,12 @@ type Cluster struct {
 	// latS[i][j] is one-way latency in seconds.
 	bwGBs [][]float64
 	latS  [][]float64
+	// linkf[i][j] is a per-link degradation multiplier applied to the
+	// effective bandwidth (and dividing latency): 1.0 is the healthy link,
+	// 0.25 a link at quarter rate. nil means every link is at 1.0 — the
+	// common case pays no O(N²) allocation. Built copy-on-write by
+	// WithLinkDegrade so perturbed clusters never alias a shared matrix.
+	linkf [][]float64
 
 	fpOnce sync.Once
 	fp     uint64
@@ -36,18 +49,40 @@ type Cluster struct {
 // N returns the device count.
 func (c *Cluster) N() int { return len(c.Devices) }
 
-// Bandwidth returns GB/s between devices i and j.
-func (c *Cluster) Bandwidth(i, j int) float64 { return c.bwGBs[i][j] }
+// SpeedOf returns device i's effective relative speed (1.0 when unset).
+func (c *Cluster) SpeedOf(i int) float64 {
+	if s := c.Devices[i].Speed; s > 0 {
+		return s
+	}
+	return 1.0
+}
 
-// Latency returns seconds of one-way latency between devices i and j.
-func (c *Cluster) Latency(i, j int) float64 { return c.latS[i][j] }
+// LinkFactor returns the degradation multiplier of the i→j link (1.0 when
+// the cluster carries no perturbation layer).
+func (c *Cluster) LinkFactor(i, j int) float64 {
+	if c.linkf == nil {
+		return 1.0
+	}
+	return c.linkf[i][j]
+}
 
-// CommTime returns the time to move bytes from i to j.
+// Bandwidth returns effective GB/s between devices i and j (the raw link
+// rate scaled by any degradation factor).
+func (c *Cluster) Bandwidth(i, j int) float64 { return c.bwGBs[i][j] * c.LinkFactor(i, j) }
+
+// Latency returns effective seconds of one-way latency between devices i
+// and j; a degraded link's latency grows by the inverse of its factor
+// (congestion stretches both terms of the transfer-time model).
+func (c *Cluster) Latency(i, j int) float64 { return c.latS[i][j] / c.LinkFactor(i, j) }
+
+// CommTime returns the time to move bytes from i to j over the effective
+// (possibly degraded) link.
 func (c *Cluster) CommTime(i, j int, bytes float64) float64 {
 	if i == j {
 		return 0
 	}
-	return c.latS[i][j] + bytes/(c.bwGBs[i][j]*1e9)
+	f := c.LinkFactor(i, j)
+	return c.latS[i][j]/f + bytes/(c.bwGBs[i][j]*f*1e9)
 }
 
 // FNV-64a, hand-rolled: the matrices make a fingerprint O(N²) eight-byte
@@ -110,14 +145,94 @@ func (c *Cluster) fingerprint() uint64 {
 			f64(c.latS[i][j])
 		}
 	}
+	// Perturbation layer: effective per-device speed and per-link factors
+	// are hashed unconditionally (1.0 when absent), so a straggler or a
+	// degraded link always changes the digest and a cache keyed by it can
+	// never serve a healthy cluster's verdict for a perturbed one — or
+	// vice versa. Hashing effective values (not raw storage) keeps a nil
+	// factor matrix and an explicit all-ones matrix interchangeable.
+	for i := range c.Devices {
+		f64(c.SpeedOf(i))
+	}
+	n := len(c.Devices)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f64(c.LinkFactor(i, j))
+		}
+	}
 	return h
 }
 
 // MemBytes returns device i's usable memory in bytes.
 func (c *Cluster) MemBytes(i int) float64 { return c.Devices[i].MemGB * 1e9 }
 
-// Flops returns device i's sustained FLOP/s.
-func (c *Cluster) Flops(i int) float64 { return c.Devices[i].TFLOPS * 1e12 }
+// Flops returns device i's effective sustained FLOP/s — the hardware rate
+// scaled by the device's relative speed factor, so every consumer of the
+// compute model (cost tables, analytic bounds, placement balancing) sees
+// stragglers through one accessor.
+func (c *Cluster) Flops(i int) float64 { return c.Devices[i].TFLOPS * 1e12 * c.SpeedOf(i) }
+
+// clone returns a shallow perturbation copy: Devices are copied (they
+// carry the per-device Speed knob), the bandwidth/latency matrices and any
+// existing link-factor matrix are shared read-only, and the fingerprint
+// memo starts fresh. Sharing the O(N²) matrices is safe because nothing
+// mutates a cluster after construction — With* constructors always write
+// through a fresh copy of whatever layer they touch.
+func (c *Cluster) clone() *Cluster {
+	return &Cluster{
+		Name:    c.Name,
+		Devices: append([]GPU(nil), c.Devices...),
+		bwGBs:   c.bwGBs,
+		latS:    c.latS,
+		linkf:   c.linkf,
+	}
+}
+
+// WithStraggler returns a copy of the cluster with device dev's speed
+// multiplied by factor (0.5 = half speed; factors compose across calls).
+// The receiver is never modified — Fingerprint memoizes, so perturbations
+// must build fresh Cluster values — and the copy's name records the
+// perturbation for display. factor must be positive.
+func (c *Cluster) WithStraggler(dev int, factor float64) *Cluster {
+	if dev < 0 || dev >= len(c.Devices) {
+		panic(fmt.Sprintf("cluster: WithStraggler device %d out of range [0,%d)", dev, len(c.Devices)))
+	}
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("cluster: WithStraggler factor must be a positive finite number, got %g", factor))
+	}
+	n := c.clone()
+	n.Devices[dev].Speed = c.SpeedOf(dev) * factor
+	n.Name = fmt.Sprintf("%s+dev%d@%g", c.Name, dev, factor)
+	return n
+}
+
+// WithLinkDegrade returns a copy of the cluster with the i↔j link's
+// effective rate multiplied by factor in both directions (0.25 = quarter
+// bandwidth, 4× latency; factors compose across calls). Like
+// WithStraggler, the receiver is untouched and the factor matrix is
+// copied on write. factor must be positive; i and j must be distinct.
+func (c *Cluster) WithLinkDegrade(i, j int, factor float64) *Cluster {
+	nd := len(c.Devices)
+	if i < 0 || i >= nd || j < 0 || j >= nd || i == j {
+		panic(fmt.Sprintf("cluster: WithLinkDegrade link (%d,%d) invalid for %d devices", i, j, nd))
+	}
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("cluster: WithLinkDegrade factor must be a positive finite number, got %g", factor))
+	}
+	n := c.clone()
+	lf := make([][]float64, nd)
+	for r := 0; r < nd; r++ {
+		lf[r] = make([]float64, nd)
+		for col := 0; col < nd; col++ {
+			lf[r][col] = c.LinkFactor(r, col)
+		}
+	}
+	lf[i][j] *= factor
+	lf[j][i] *= factor
+	n.linkf = lf
+	n.Name = fmt.Sprintf("%s+link%d-%d@%g", c.Name, i, j, factor)
+	return n
+}
 
 func newUniform(name string, n int, gpu GPU) *Cluster {
 	c := &Cluster{Name: name}
@@ -218,8 +333,39 @@ func FullNVLink(n int) *Cluster {
 	return c
 }
 
-// ByName returns a preset cluster: "tacc", "tc", "pc", "fc".
+// Degraded-preset parameters: the canonical straggler runs device 0 at
+// half speed; the canonical congested link runs the 0↔1 boundary — the
+// busiest hop of a straight pipeline placement — at quarter rate.
+const (
+	presetStragglerFactor = 0.5
+	presetSlowLinkFactor  = 0.25
+)
+
+// ByName returns a preset cluster: "tacc", "tc", "pc", "fc". A
+// ":straggler" suffix returns the preset with device 0 at half speed and
+// a ":slowlink" suffix the preset with the 0↔1 link at quarter rate —
+// the degraded presets the fault-aware experiments sweep. Because the
+// suffix travels inside the name, every name-routed path (the distributed
+// sweep workers, flags, configs) reaches the degraded clusters with no
+// new plumbing.
 func ByName(name string, n int) (*Cluster, error) {
+	if base, ok := strings.CutSuffix(name, ":straggler"); ok {
+		c, err := ByName(base, n)
+		if err != nil {
+			return nil, err
+		}
+		return c.WithStraggler(0, presetStragglerFactor), nil
+	}
+	if base, ok := strings.CutSuffix(name, ":slowlink"); ok {
+		c, err := ByName(base, n)
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("cluster: %q needs at least 2 devices", name)
+		}
+		return c.WithLinkDegrade(0, 1, presetSlowLinkFactor), nil
+	}
 	switch name {
 	case "tacc", "TACC":
 		return TACC(n), nil
@@ -235,3 +381,33 @@ func ByName(name string, n int) (*Cluster, error) {
 
 // Names lists the preset cluster names in the paper's order.
 func Names() []string { return []string{"pc", "fc", "tacc", "tc"} }
+
+// ApplyStraggler perturbs c according to a "dev:factor" spec — the CLI
+// form of WithStraggler (e.g. "0:0.5" runs device 0 at half speed). An
+// empty spec returns c unchanged; malformed specs and out-of-range
+// devices or factors return errors rather than panicking, since specs
+// arrive from flags.
+func ApplyStraggler(c *Cluster, spec string) (*Cluster, error) {
+	if spec == "" {
+		return c, nil
+	}
+	devStr, facStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("cluster: straggler spec %q: want dev:factor", spec)
+	}
+	dev, err := strconv.Atoi(devStr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: straggler spec %q: bad device: %w", spec, err)
+	}
+	factor, err := strconv.ParseFloat(facStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: straggler spec %q: bad factor: %w", spec, err)
+	}
+	if dev < 0 || dev >= len(c.Devices) {
+		return nil, fmt.Errorf("cluster: straggler device %d out of range [0,%d)", dev, len(c.Devices))
+	}
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("cluster: straggler factor must be a positive finite number, got %g", factor)
+	}
+	return c.WithStraggler(dev, factor), nil
+}

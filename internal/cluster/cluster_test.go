@@ -125,13 +125,19 @@ func TestFingerprint(t *testing.T) {
 // TestFingerprintMatchesLibraryFNV pins the hand-rolled FNV fold against
 // hash/fnv over the identical byte stream: the fingerprint is the shard
 // of every cross-process cache key, so the optimized fold must never
-// drift from what earlier builds published to a shared tier.
+// drift from what earlier builds published to a shared tier. Perturbed
+// variants run through the same check so the speed/link-factor tail of
+// the stream is pinned too.
 func TestFingerprintMatchesLibraryFNV(t *testing.T) {
+	var cases []*Cluster
 	for _, name := range Names() {
 		c, err := ByName(name, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
+		cases = append(cases, c, c.WithStraggler(3, 0.5), c.WithLinkDegrade(0, 7, 0.25))
+	}
+	for _, c := range cases {
 		h := fnv.New64a()
 		var buf [8]byte
 		u64 := func(v uint64) {
@@ -160,8 +166,75 @@ func TestFingerprintMatchesLibraryFNV(t *testing.T) {
 				f64(c.latS[i][j])
 			}
 		}
-		if got, want := c.Fingerprint(), h.Sum64(); got != want {
-			t.Fatalf("%s: hand-rolled fingerprint %#x != hash/fnv %#x", name, got, want)
+		for i := range c.Devices {
+			f64(c.SpeedOf(i))
 		}
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.N(); j++ {
+				f64(c.LinkFactor(i, j))
+			}
+		}
+		if got, want := c.Fingerprint(), h.Sum64(); got != want {
+			t.Fatalf("%s: hand-rolled fingerprint %#x != hash/fnv %#x", c.Name, got, want)
+		}
+	}
+}
+
+// TestPerturbations covers the straggler/link-degradation layer: effective
+// rates, copy-on-write isolation of the receiver, fingerprint sensitivity,
+// and the degraded ByName presets.
+func TestPerturbations(t *testing.T) {
+	base := FullNVLink(8)
+	baseFP := base.Fingerprint()
+
+	s := base.WithStraggler(2, 0.5)
+	if got := s.Flops(2); got != base.Flops(2)*0.5 {
+		t.Fatalf("straggler flops %g, want half of %g", got, base.Flops(2))
+	}
+	if s.Flops(0) != base.Flops(0) {
+		t.Fatal("non-straggler devices must keep their speed")
+	}
+	if base.SpeedOf(2) != 1.0 {
+		t.Fatal("WithStraggler must not mutate the receiver")
+	}
+	if s.Fingerprint() == baseFP {
+		t.Fatal("straggler must change the fingerprint")
+	}
+	// Factors compose.
+	if s2 := s.WithStraggler(2, 0.5); s2.SpeedOf(2) != 0.25 {
+		t.Fatalf("composed straggler speed %g, want 0.25", s2.SpeedOf(2))
+	}
+
+	l := base.WithLinkDegrade(0, 1, 0.25)
+	if got, want := l.Bandwidth(0, 1), base.Bandwidth(0, 1)*0.25; got != want {
+		t.Fatalf("degraded bandwidth %g, want %g", got, want)
+	}
+	if got, want := l.Latency(1, 0), base.Latency(1, 0)*4; got != want {
+		t.Fatalf("degraded latency %g, want %g", got, want)
+	}
+	if l.CommTime(0, 1, 1e7) <= base.CommTime(0, 1, 1e7) {
+		t.Fatal("a degraded link must be slower")
+	}
+	if l.CommTime(2, 3, 1e7) != base.CommTime(2, 3, 1e7) {
+		t.Fatal("untouched links must keep their rate")
+	}
+	if base.LinkFactor(0, 1) != 1.0 {
+		t.Fatal("WithLinkDegrade must not mutate the receiver")
+	}
+	if l.Fingerprint() == baseFP || l.Fingerprint() == s.Fingerprint() {
+		t.Fatal("link degradation must change the fingerprint distinctly")
+	}
+
+	for _, name := range []string{"fc:straggler", "tacc:slowlink"} {
+		c, err := ByName(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Fingerprint() == baseFP {
+			t.Fatalf("%s must not fingerprint like the healthy preset", name)
+		}
+	}
+	if _, err := ByName("bogus:straggler", 8); err == nil {
+		t.Fatal("degraded suffix on an unknown preset must error")
 	}
 }

@@ -34,6 +34,15 @@ type Plan struct {
 	B         int // micro-batches per replica per iteration
 	MicroRows int // sequences per micro-batch
 
+	// Faults injects a sim.FaultPlan into every timed evaluation of this
+	// plan: mid-run slowdowns and link degradations stretch the simulated
+	// makespan, and a device failure yields an infeasible verdict with a
+	// recovery estimate (Candidate.Failed) instead of a throughput. Nil is
+	// the fault-free plan. The plan applies to the simulated replica
+	// (devices 0..P-1); evaluations stay D-invariant because every replica
+	// of a sweep shares the same plan.
+	Faults *sim.FaultPlan
+
 	// cache memoizes generated+validated schedules AND full single-pass
 	// evaluations across plans that share (Scheme, P, B) — identical
 	// action lists are built once and simulated once per AutoTune sweep
@@ -125,6 +134,16 @@ type evalShared struct {
 	// bound) rather than an exact value. boundOnly results are never
 	// cached — not in the sweep memo, the Tuner tiers or the remote tier.
 	boundOnly bool
+	// failed marks a deterministic infeasible-on-faulty-cluster verdict:
+	// the plan's FaultPlan killed a device mid-schedule. failedDev,
+	// failTime and recovery carry the sim's diagnostic; no memory estimate
+	// or throughput exists. Failed verdicts are complete, deterministic
+	// and D-invariant, so they cache like any evaluation — though the
+	// remote tier carries only the verdict bit, not the diagnostics.
+	failed    bool
+	failedDev int
+	failTime  float64
+	recovery  float64
 }
 
 type evalEntry struct {
@@ -198,6 +217,9 @@ func (p Plan) Validate() error {
 	if p.P*p.D > p.Cluster.N() {
 		return fmt.Errorf("core: plan uses %d devices, cluster has %d", p.P*p.D, p.Cluster.N())
 	}
+	if err := p.Faults.Validate(p.P); err != nil {
+		return err
+	}
 	return p.Model.Validate()
 }
 
@@ -232,7 +254,7 @@ func (p Plan) Simulate(opt sim.Options) (*sim.Result, error) {
 		return nil, err
 	}
 	simRuns.Add(1)
-	return sim.Run(s, cost, opt)
+	return sim.RunFaults(s, cost, opt, p.Faults)
 }
 
 // simRuns counts every sim.Run issued through Plan evaluation — the test
@@ -354,18 +376,25 @@ func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner
 	var r *sim.Result
 	if deadline > 0 && runner != nil {
 		var exceeded bool
-		r, exceeded, err = runner.RunDeadline(s, cost, opt, deadline)
+		r, exceeded, err = runner.RunFaultsDeadline(s, cost, opt, p.Faults, deadline)
 		if err == nil && exceeded {
 			return &evalShared{boundOnly: true,
 				perReplica: float64(p.B*p.MicroRows) / r.Makespan}, nil
 		}
 	} else if runner != nil {
-		r, err = runner.Run(s, cost, opt)
+		r, err = runner.RunFaults(s, cost, opt, p.Faults)
 	} else {
-		r, err = sim.Run(s, cost, opt)
+		r, err = sim.RunFaults(s, cost, opt, p.Faults)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if r.Failed {
+		// The fault plan killed a device: a deterministic infeasible
+		// verdict with the sim's recovery diagnostic — no memory estimate
+		// or throughput exists for the aborted prefix.
+		return &evalShared{failed: true, failedDev: r.FailedDevice,
+			failTime: r.FailTime, recovery: r.Recovery}, nil
 	}
 	mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, r.PeakActs)
 	es := &evalShared{
@@ -464,7 +493,17 @@ type Candidate struct {
 	// row it is the max over its pruned waves' bounds when that exceeds the
 	// best fully evaluated wave.
 	Bound float64
-	Err   error
+	// Failed marks a deterministic infeasible verdict from the plan's
+	// FaultPlan: a device died mid-schedule, so the configuration cannot
+	// complete an iteration on the faulty cluster. FailedDevice and
+	// FailTimeS identify the triggering event; RecoveryS is the simulator's
+	// restart-from-checkpoint makespan estimate. Cache-served verdicts may
+	// carry only the flag (zero diagnostics) — the remote tier drops them.
+	Failed       bool
+	FailedDevice int
+	FailTimeS    float64
+	RecoveryS    float64
+	Err          error
 }
 
 // SearchSpace bounds the AutoTune sweep.
@@ -505,6 +544,19 @@ type SearchSpace struct {
 	// shard-local, so every shard's top-K stays exact and MergeShards
 	// reproduces the exhaustive top-K.
 	TopK int
+
+	// Faults applies one sim.FaultPlan to every candidate's timed
+	// evaluation — the "-faultplan" sweep axis. Device/link degradations
+	// reshape the ranking (a straggler cluster can flip the top-1 scheme);
+	// a Fail event turns affected cells into Candidate.Failed verdicts.
+	// The plan is validated against each candidate's P, so a plan
+	// targeting devices beyond a cell's pipeline surfaces as that cell's
+	// Err. The plan's fingerprint is folded into the cross-sweep cache
+	// key, so faulty and fault-free sweeps never serve each other's
+	// entries. Bound-and-prune (TopK) stays exact: fault factors are
+	// restricted to (0, 1], which keeps the analytic bound a floor under
+	// any plan.
+	Faults *sim.FaultPlan
 
 	// shardIndex/shardCount restrict a sweep to one deterministic slice of
 	// the candidate grid — set via Shard, evaluated via AutoTuneShard,
@@ -683,7 +735,7 @@ func evalKey(plan Plan, own *evaluator, prune bool, t *Tuner, gk tunerKey, hk ui
 		f.err = err
 		return nil, err
 	}
-	f.ent = tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
+	f.ent = entryFrom(es)
 	t.cache.put(gk, hk, f.ent)
 	if sr != nil {
 		sr.publish(hk, f.ent)
@@ -734,7 +786,7 @@ func evalKeyBounded(plan Plan, own *evaluator, prune bool, t *Tuner, gk tunerKey
 	if err != nil || es.boundOnly {
 		return es, err // proven-below-cutoff (or failed): not a cache entry
 	}
-	ent := tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica}
+	ent := entryFrom(es)
 	t.cache.put(gk, hk, ent)
 	if sr != nil {
 		sr.publish(hk, ent)
@@ -917,7 +969,7 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 	}
 	for pi, pd := range space.PD {
 		base := Plan{Cluster: cl, Model: model, P: pd[0], D: pd[1],
-			B: space.B, MicroRows: space.MicroRows, cache: cache}
+			B: space.B, MicroRows: space.MicroRows, Faults: space.Faults, cache: cache}
 		for _, scheme := range space.Schemes {
 			if !claim() {
 				continue
@@ -1187,6 +1239,15 @@ func candidateFrom(plan Plan, es *evalShared, err error) Candidate {
 		// exact zero-throughput measurement.
 		c.BoundPruned = true
 		c.Bound = es.perReplica * float64(plan.D)
+		return c
+	}
+	if es.failed {
+		// Checked before the fits verdict: a failed run carries no memory
+		// estimate, so falling through would misreport it as OOM.
+		c.Failed = true
+		c.FailedDevice = es.failedDev
+		c.FailTimeS = es.failTime
+		c.RecoveryS = es.recovery
 		return c
 	}
 	c.PeakGB = es.maxGB

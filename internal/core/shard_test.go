@@ -8,6 +8,7 @@ import (
 	"repro/internal/cachewire"
 	"repro/internal/cluster"
 	"repro/internal/nn"
+	"repro/internal/sim"
 )
 
 // shardSpace is a mid-sized grid over all 9 schemes of the exec golden
@@ -234,17 +235,18 @@ func TestTunerKeyHashStable(t *testing.T) {
 	if base.hash() != base.hash() {
 		t.Fatal("hash is not deterministic")
 	}
-	const golden uint64 = 0x0c2f1a097e1dd5ea
+	const golden uint64 = 0xd03c6d1dbb24372a
 	if got := base.hash(); got != golden {
 		t.Fatalf("wire key hash drifted: got %#x, want %#x", got, golden)
 	}
-	mutants := []tunerKey{base, base, base, base, base, base}
+	mutants := []tunerKey{base, base, base, base, base, base, base}
 	mutants[0].cluster++
 	mutants[1].model.Hidden++
 	mutants[2].scheme = "hanayo-w4"
 	mutants[3].p = 16
 	mutants[4].rows = 1
 	mutants[5].prune = true
+	mutants[6].faults = (&sim.FaultPlan{Events: []sim.FaultEvent{sim.SlowDown(0, 0.5, 0)}}).Fingerprint()
 	for i, m := range mutants {
 		if m.hash() == base.hash() {
 			t.Errorf("mutant %d hashes like the base key", i)

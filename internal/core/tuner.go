@@ -179,7 +179,8 @@ func (t *Tuner) remoteGet(h uint64) (tunerEntry, bool) {
 	if !ok {
 		return tunerEntry{}, false
 	}
-	return tunerEntry{perReplica: we.PerReplica, maxGB: we.MaxGB, fits: we.Fits, pruned: we.Pruned}, true
+	return tunerEntry{perReplica: we.PerReplica, maxGB: we.MaxGB,
+		fits: we.Fits, pruned: we.Pruned, failed: we.Failed}, true
 }
 
 // remotePut publishes a fresh evaluation to the cross-process tier,
@@ -188,7 +189,8 @@ func (t *Tuner) remotePut(h uint64, e tunerEntry) {
 	if t.remote == nil {
 		return
 	}
-	we := cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB, Fits: e.fits, Pruned: e.pruned}
+	we := cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB,
+		Fits: e.fits, Pruned: e.pruned, Failed: e.failed}
 	if err := t.remote.Put(h, we); err != nil {
 		t.rerrs.Add(1)
 	}
@@ -234,7 +236,7 @@ func (sr *sweepRemote) prefetch(gks []tunerKey, hks []uint64) {
 			continue
 		}
 		ent := tunerEntry{perReplica: out[i].PerReplica, maxGB: out[i].MaxGB,
-			fits: out[i].Fits, pruned: out[i].Pruned}
+			fits: out[i].Fits, pruned: out[i].Pruned, failed: out[i].Failed}
 		sr.hits[hk] = ent
 		t.cache.put(gks[i], hk, ent)
 	}
@@ -245,7 +247,7 @@ func (sr *sweepRemote) publish(h uint64, e tunerEntry) {
 	sr.mu.Lock()
 	sr.keys = append(sr.keys, h)
 	sr.ents = append(sr.ents, cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB,
-		Fits: e.fits, Pruned: e.pruned})
+		Fits: e.fits, Pruned: e.pruned, Failed: e.failed})
 	sr.mu.Unlock()
 }
 
@@ -267,6 +269,8 @@ func (sr *sweepRemote) flush() {
 // whole. MicroRows is part of the workload (it scales compute and comm
 // times and activation bytes) and prune is included because a pruned OOM
 // cell reports the early-exit peak rather than the full-iteration peak.
+// faults is the plan's sim.FaultPlan fingerprint (0 when fault-free), so
+// a faulty sweep can never serve — or poison — a fault-free entry.
 type tunerKey struct {
 	cluster uint64
 	model   nn.Config
@@ -274,6 +278,7 @@ type tunerKey struct {
 	p, b    int
 	rows    int
 	prune   bool
+	faults  uint64
 }
 
 // keyFor builds the cross-sweep cache key for one plan. clusterFP is the
@@ -288,6 +293,7 @@ func keyFor(plan Plan, prune bool, clusterFP uint64) tunerKey {
 		b:       plan.B,
 		rows:    plan.MicroRows,
 		prune:   prune,
+		faults:  plan.Faults.Fingerprint(),
 	}
 }
 
@@ -339,24 +345,37 @@ func (k tunerKey) hash() uint64 {
 	u64(uint64(int64(k.b)))
 	u64(uint64(int64(k.rows)))
 	b(k.prune)
+	u64(k.faults)
 	return h
 }
 
 // tunerEntry is the compact, D-invariant result of one evaluation — plain
 // scalars only, deliberately free of sim/memtrace pointers so cached
 // entries never retain runner-owned arenas and are safe to share across
-// goroutines.
+// goroutines. A failed verdict keeps its diagnostics (device, fail time,
+// recovery estimate) in process; the wire form carries only the flag.
 type tunerEntry struct {
 	perReplica float64
 	maxGB      float64
 	fits       bool
 	pruned     bool
+	failed     bool
+	failedDev  int
+	failTime   float64
+	recovery   float64
 }
 
 // toShared lifts a compact cache entry back into the sweep's evaluation
 // shape (no sim/mem pointers: those never enter the cache).
 func (e tunerEntry) toShared() *evalShared {
-	return &evalShared{fits: e.fits, pruned: e.pruned, maxGB: e.maxGB, perReplica: e.perReplica}
+	return &evalShared{fits: e.fits, pruned: e.pruned, maxGB: e.maxGB, perReplica: e.perReplica,
+		failed: e.failed, failedDev: e.failedDev, failTime: e.failTime, recovery: e.recovery}
+}
+
+// entryFrom compacts one fresh evaluation for the cache tiers.
+func entryFrom(es *evalShared) tunerEntry {
+	return tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica,
+		failed: es.failed, failedDev: es.failedDev, failTime: es.failTime, recovery: es.recovery}
 }
 
 // tunerShards is the shard count of the cross-sweep cache; key hashes

@@ -27,6 +27,19 @@ package costmodel
 // all of which only increase the simulated makespan, so
 // LowerBound ≤ sim makespan holds across every option set (property-
 // tested against sim.Run for all nine schemes).
+//
+// Heterogeneity and faults. The certificates read cl.Flops and
+// cl.CommTime per device and per link, so static heterogeneity — GPU
+// speed factors, link degradation multipliers, mixed TFLOPS — is handled
+// exactly, with no formula change and no slack: the bound remains tight
+// on perturbed clusters and the bound-and-prune sweep stays exact there
+// (TestTopKMatchesExhaustive runs perturbed variants). Dynamic faults
+// (sim.FaultPlan) are invisible to the bound; soundness instead comes
+// from the plan's validation contract: SlowDown/LinkDegrade factors are
+// restricted to (0, 1], so a mid-run fault can only lengthen the
+// simulated makespan beyond what the fault-free walk — already ≥ the
+// bound — would report. A failed run is infeasible, reported with a
+// recovery estimate, and never competes on makespan at all.
 
 import (
 	"fmt"

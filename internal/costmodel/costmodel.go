@@ -52,16 +52,28 @@ type Cost struct {
 	// analysis (and our published tables) assume uniform stages.
 	Heterogeneous bool
 
+	// Shares, when non-nil (length S), multiplies each stage's fractional
+	// layer count: stage s carries Layers/S · Shares[s] layers instead of
+	// the uniform Layers/S. SpeedBalancedShares builds shares proportional
+	// to the hosting device's measured speed, equalizing stage times on a
+	// heterogeneous cluster — the "balance stage loads by measured speed,
+	// not device count" placement knob. Opt-in and deliberately OUTSIDE
+	// the sweep path: LowerBound's certificates assume uniform stages, so
+	// a Cost with Shares set must not feed a bound-and-prune sweep.
+	Shares []float64
+
 	// Dense tables built by Recalc: fwd/bwd are indexed d*S+stage for the
-	// p devices the schedule uses, comm is indexed src*p+dst. builtHet and
-	// builtRatio record the knob values the tables encode so a
-	// post-construction knob flip invalidates them (rebuilds are not safe
-	// concurrently with lookups — freeze the knobs before sharing a Cost).
-	p          int
-	fwd, bwd   []float64
-	comm       []float64
-	builtHet   bool
-	builtRatio float64
+	// p devices the schedule uses, comm is indexed src*p+dst. builtHet,
+	// builtRatio and builtShares record the knob values the tables encode
+	// so a post-construction knob flip invalidates them (rebuilds are not
+	// safe concurrently with lookups — freeze the knobs before sharing a
+	// Cost).
+	p           int
+	fwd, bwd    []float64
+	comm        []float64
+	builtHet    bool
+	builtRatio  float64
+	builtShares []float64
 }
 
 // EmbedFLOPs is the forward cost of the embedding lookup (memory-bound;
@@ -110,24 +122,42 @@ func (c *Cost) Recalc() {
 	}
 	c.builtHet = c.Heterogeneous
 	c.builtRatio = c.BackwardRatio
+	c.builtShares = c.Shares
+}
+
+// sameShares reports whether two share slices are the identical knob
+// setting: same slice (length + backing array) or both absent. Callers
+// that mutate a shares slice in place must reassign a fresh slice for the
+// staleness check to notice — the documented Recalc contract.
+func sameShares(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // stale reports whether the tables no longer reflect the public knobs (or
 // were never built, for a hand-assembled zero-value Cost).
 func (c *Cost) stale() bool {
-	return c.fwd == nil || c.builtHet != c.Heterogeneous || c.builtRatio != c.BackwardRatio
+	return c.fwd == nil || c.builtHet != c.Heterogeneous || c.builtRatio != c.BackwardRatio ||
+		!sameShares(c.builtShares, c.Shares)
 }
 
-// layersPerStage is the fractional layer share of one stage.
-func (c *Cost) layersPerStage() float64 {
-	return float64(c.W.Model.Layers) / float64(c.S)
+// layersPerStage is the fractional layer count of one stage: the uniform
+// Layers/S share scaled by the stage's Shares multiplier when set.
+func (c *Cost) layersPerStage(stage int) float64 {
+	share := float64(c.W.Model.Layers) / float64(c.S)
+	if stage < len(c.Shares) {
+		share *= c.Shares[stage]
+	}
+	return share
 }
 
 // forwardTimeSlow derives one forward time from the FLOP formulas — the
 // table builder and the fallback for lookups outside the schedule's device
 // range (e.g. a hand-assembled zero-value Cost).
 func (c *Cost) forwardTimeSlow(d, stage int) float64 {
-	fl := c.layersPerStage() * LayerForwardFLOPs(c.W.Model, c.W.MicroRows)
+	fl := c.layersPerStage(stage) * LayerForwardFLOPs(c.W.Model, c.W.MicroRows)
 	if c.Heterogeneous {
 		if stage == 0 {
 			fl += EmbedFLOPs(c.W.Model, c.W.MicroRows)

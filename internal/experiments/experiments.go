@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // Experiment is a named, runnable reproduction of one paper artifact.
@@ -38,6 +40,18 @@ var AutoTunePrune bool
 // only a proven throughput upper bound. cmd/hanayo-bench threads its
 // -topk flag here.
 var AutoTuneTopK int
+
+// Straggler, when non-empty, perturbs the fig10 search cluster with a
+// "dev:factor" spec (cluster.ApplyStraggler) — the -straggler sweep
+// axis of cmd/hanayo-bench, for asking "would the paper's pick survive
+// this machine running slow?" without editing presets.
+var Straggler string
+
+// Faults, when non-nil, injects a fault plan into the fig10 search
+// (SearchSpace.Faults): cmd/hanayo-bench parses its -faultplan JSON
+// file into this. Failed cells surface as FAIL rows with a recovery
+// estimate, not errors.
+var Faults *sim.FaultPlan
 
 func register(name, title string, run func(w io.Writer) error) {
 	registry[name] = Experiment{Name: name, Title: title, Run: run}

@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
-		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "xtr01"}
+		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "xtr01", "xtr02"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("have %v want %v", got, want)
@@ -124,6 +124,16 @@ func TestRunAll(t *testing.T) {
 	}
 	if strings.Count(buf.String(), "===") < 12 {
 		t.Fatal("missing experiment headers")
+	}
+}
+
+func TestXtr02FaultModel(t *testing.T) {
+	out := runAndCheck(t, "xtr02", "best scheme", "failure injection on FC",
+		"infeasible; recovery estimate")
+	// At least one severity row must flip the top-1 away from the healthy
+	// cluster's pick — the headline claim of the fault model.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no straggler severity flipped the top-1:\n%s", out)
 	}
 }
 

@@ -145,6 +145,17 @@ func fig09(w io.Writer) error {
 func fig10(w io.Writer) error {
 	cl := cluster.TACC(32)
 	model := nn.BERTStyle()
+	cl, err := cluster.ApplyStraggler(cl, Straggler)
+	if err != nil {
+		return err
+	}
+	if Straggler != "" {
+		fmt.Fprintf(w, "cluster perturbed: straggler %s\n", Straggler)
+	}
+	if Faults != nil {
+		fmt.Fprintf(w, "fault plan injected: %d events, restart cost %.1fs\n",
+			len(Faults.Events), Faults.RestartCost)
+	}
 	cands := core.AutoTune(cl, model, core.SearchSpace{
 		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
 		Waves:     []int{1, 2, 4},
@@ -153,6 +164,7 @@ func fig10(w io.Writer) error {
 		Workers:   AutoTuneWorkers,
 		Prune:     AutoTunePrune,
 		TopK:      AutoTuneTopK,
+		Faults:    Faults,
 	})
 	fmt.Fprintf(w, "%-14s %6s %4s %12s %9s %5s\n", "scheme", "P", "D", "seq/s", "peakGB", "OOM")
 	for _, c := range cands {
@@ -164,6 +176,11 @@ func fig10(w io.Writer) error {
 		if c.BoundPruned {
 			// Eliminated by the TopK bound: only the proven ceiling is known.
 			thr = fmt.Sprintf("<%.3f", c.Bound)
+		}
+		if c.Failed {
+			// The fault plan killed a device mid-schedule: infeasible, with
+			// a restart-from-checkpoint recovery estimate.
+			oom, thr = "FAIL", fmt.Sprintf("dev%d@%.1fs→%.1fs", c.FailedDevice, c.FailTimeS, c.RecoveryS)
 		}
 		if c.Err != nil {
 			thr = "err"

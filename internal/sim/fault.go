@@ -1,0 +1,252 @@
+package sim
+
+// The fault model: a FaultPlan is a preallocated list of typed events
+// applied at virtual timestamps during the discrete-event walk. SlowDown
+// and LinkDegrade events multiply into the compute/communication times of
+// every op starting at or after their timestamp; a Fail event kills its
+// device, aborting the walk through the same sentinel-error path as the
+// deadline cap and marking the run infeasible with a recovery-makespan
+// estimate instead of panicking. The hot path scans the event list per op
+// — a handful of comparisons, no allocation — so Runner.Run stays at 0
+// allocs/op steady state with a non-empty plan (pinned alongside the
+// existing AllocsPerRun regression test).
+//
+// Degradation factors are restricted to (0, 1]: faults may only slow a
+// device or a link, never speed one up. That single restriction is what
+// keeps costmodel.LowerBound — computed from the cluster's static
+// (per-device, per-link) rates with no knowledge of the plan — a proven
+// floor on the faulty simulated makespan, which the bound-and-prune sweep
+// relies on for exactness. Static speedups belong on the cluster
+// (GPU.Speed, cluster.WithStraggler), where the bound sees them exactly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// FaultKind discriminates FaultEvent variants.
+type FaultKind int
+
+// Fault event kinds.
+const (
+	// FaultSlowDown multiplies device Dev's speed by Factor for every
+	// compute op starting at or after At.
+	FaultSlowDown FaultKind = iota
+	// FaultLinkDegrade multiplies the Dev↔Peer link rate by Factor for
+	// every transfer starting at or after At (both directions).
+	FaultLinkDegrade
+	// FaultFail kills device Dev at virtual time At: the first op on Dev
+	// that would still be running at At aborts the walk and the run is
+	// reported infeasible with a recovery estimate.
+	FaultFail
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultSlowDown:    "slowdown",
+	FaultLinkDegrade: "linkdegrade",
+	FaultFail:        "fail",
+}
+
+// String names the kind ("slowdown", "linkdegrade", "fail").
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name, the -faultplan file
+// format.
+func (k FaultKind) MarshalJSON() ([]byte, error) {
+	s, ok := faultKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown fault kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a string kind name.
+func (k *FaultKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kind, name := range faultKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown fault kind %q", s)
+}
+
+// FaultEvent is one timed perturbation of the simulated cluster.
+type FaultEvent struct {
+	Kind FaultKind `json:"kind"`
+	// Dev is the affected device (for LinkDegrade, one endpoint).
+	Dev int `json:"dev"`
+	// Peer is the other endpoint of a LinkDegrade (ignored otherwise).
+	Peer int `json:"peer,omitempty"`
+	// At is the virtual timestamp (seconds) the event takes effect.
+	At float64 `json:"at"`
+	// Factor is the remaining relative rate in (0, 1] (SlowDown and
+	// LinkDegrade only; a Fail carries none).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// SlowDown builds a device-slowdown event: dev runs at factor of its
+// speed from virtual time at onward.
+func SlowDown(dev int, factor, at float64) FaultEvent {
+	return FaultEvent{Kind: FaultSlowDown, Dev: dev, At: at, Factor: factor}
+}
+
+// LinkDegrade builds a link-degradation event: the i↔j link runs at
+// factor of its rate from virtual time at onward.
+func LinkDegrade(i, j int, factor, at float64) FaultEvent {
+	return FaultEvent{Kind: FaultLinkDegrade, Dev: i, Peer: j, At: at, Factor: factor}
+}
+
+// Fail builds a device-failure event: dev dies at virtual time at.
+func Fail(dev int, at float64) FaultEvent {
+	return FaultEvent{Kind: FaultFail, Dev: dev, At: at}
+}
+
+// FaultPlan is a set of fault events plus the restart-cost model a failed
+// run's recovery estimate charges. The zero value (and nil) is the empty
+// plan: RunFaults with a nil plan is bit-for-bit Run.
+type FaultPlan struct {
+	Events []FaultEvent `json:"events"`
+	// RestartCost is the fixed time (seconds) the recovery model charges
+	// for detecting the failure and restarting from the last checkpoint —
+	// process respawn, NCCL re-initialization, checkpoint load.
+	RestartCost float64 `json:"restart_cost,omitempty"`
+}
+
+// Validate checks the plan against a pipeline of devs devices: device
+// indices in range, timestamps non-negative and finite, factors in
+// (0, 1]. The factor ceiling is load-bearing, not cosmetic — a factor
+// above 1 would speed the simulation past the analytic lower bound and
+// silently break the bound-and-prune sweep's exactness proof.
+func (p *FaultPlan) Validate(devs int) error {
+	if p == nil {
+		return nil
+	}
+	if p.RestartCost < 0 || math.IsNaN(p.RestartCost) || math.IsInf(p.RestartCost, 0) {
+		return fmt.Errorf("sim: fault plan restart cost must be a non-negative finite number, got %g", p.RestartCost)
+	}
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
+			return fmt.Errorf("sim: fault event %d: timestamp must be a non-negative finite number, got %g", i, e.At)
+		}
+		if e.Dev < 0 || e.Dev >= devs {
+			return fmt.Errorf("sim: fault event %d: device %d out of range [0,%d)", i, e.Dev, devs)
+		}
+		switch e.Kind {
+		case FaultSlowDown, FaultLinkDegrade:
+			if !(e.Factor > 0 && e.Factor <= 1) {
+				return fmt.Errorf("sim: fault event %d: factor must be in (0,1], got %g", i, e.Factor)
+			}
+			if e.Kind == FaultLinkDegrade {
+				if e.Peer < 0 || e.Peer >= devs || e.Peer == e.Dev {
+					return fmt.Errorf("sim: fault event %d: link (%d,%d) invalid for %d devices", i, e.Dev, e.Peer, devs)
+				}
+			}
+		case FaultFail:
+			// No factor.
+		default:
+			return fmt.Errorf("sim: fault event %d: unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a stable FNV-64a digest of the plan — what the
+// cross-sweep cache folds into its key so a faulty sweep can never serve
+// a fault-free verdict (or another plan's). nil and the empty plan digest
+// to 0, keeping fault-free keys identical to pre-fault builds' keys.
+func (p *FaultPlan) Fingerprint() uint64 {
+	if p == nil || (len(p.Events) == 0 && p.RestartCost == 0) {
+		return 0
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	f64(p.RestartCost)
+	u64(uint64(len(p.Events)))
+	for i := range p.Events {
+		e := &p.Events[i]
+		u64(uint64(int64(e.Kind)))
+		u64(uint64(int64(e.Dev)))
+		u64(uint64(int64(e.Peer)))
+		f64(e.At)
+		f64(e.Factor)
+	}
+	return h
+}
+
+// ParseFaultPlan decodes the -faultplan JSON file format:
+//
+//	{"restart_cost": 5,
+//	 "events": [{"kind": "slowdown", "dev": 0, "at": 0, "factor": 0.5},
+//	            {"kind": "linkdegrade", "dev": 0, "peer": 1, "at": 1.0, "factor": 0.25},
+//	            {"kind": "fail", "dev": 2, "at": 3.5}]}
+//
+// Unknown fields are rejected so a typo degrades loudly, not silently.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) {
+	var p FaultPlan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("sim: fault plan: %w", err)
+	}
+	return &p, nil
+}
+
+// speedAt returns the compound slowdown factor on device d for an op
+// starting at virtual time t: the product of every SlowDown event on d
+// whose timestamp has passed. O(events), allocation-free.
+func (p *FaultPlan) speedAt(d int, t float64) float64 {
+	f := 1.0
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Kind == FaultSlowDown && e.Dev == d && e.At <= t {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// linkAt returns the compound degradation factor of the undirected i↔j
+// link for a transfer starting at virtual time t.
+func (p *FaultPlan) linkAt(i, j int, t float64) float64 {
+	f := 1.0
+	for k := range p.Events {
+		e := &p.Events[k]
+		if e.Kind == FaultLinkDegrade && e.At <= t &&
+			((e.Dev == i && e.Peer == j) || (e.Dev == j && e.Peer == i)) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// failAt returns the earliest Fail timestamp for device d, if any.
+func (p *FaultPlan) failAt(d int) (float64, bool) {
+	at, ok := 0.0, false
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Kind == FaultFail && e.Dev == d && (!ok || e.At < at) {
+			at, ok = e.At, true
+		}
+	}
+	return at, ok
+}

@@ -87,6 +87,21 @@ type Result struct {
 	// Zones is the Fig 7 idle-time decomposition, indexed by Zone (a dense
 	// array, not a map: the simulator hot path writes it per wait).
 	Zones [NumZones]float64
+
+	// Failed marks a run aborted by a FaultPlan Fail event: the schedule
+	// cannot complete on the faulty cluster, so the run is infeasible.
+	// Makespan/End/Records then cover only the executed prefix (the clock
+	// high-water mark at abort), FailedDevice/FailTime identify the fault,
+	// and Recovery estimates the restart-from-checkpoint iteration
+	// makespan: the progress lost up to the failure, plus the plan's
+	// RestartCost, plus the serial re-execution floor (the busiest
+	// device's full compute plus the flush). The estimate is
+	// deterministic — it depends only on the schedule, the cost model and
+	// the fault plan, never on walk interleaving.
+	Failed       bool
+	FailedDevice int
+	FailTime     float64
+	Recovery     float64
 }
 
 // BubbleRatio is total idle over total device-time, the paper's metric.
@@ -130,6 +145,12 @@ type transfer struct {
 // verdict — the timing twin of memtrace's budget early exit.
 var errDeadline = errors.New("sim: deadline exceeded")
 
+// errFailed is the sentinel a faulty run's hooks return when a device's
+// op would span its Fail timestamp: the walk aborts exactly like the
+// deadline path, and run translates it into the infeasible-with-recovery
+// verdict instead of an error.
+var errFailed = errors.New("sim: device failed")
+
 // backend is the timing implementation of exec.Backend: virtual per-device
 // clocks, a transfer table with link serialization, and the Fig 7 zone
 // decomposition of every wait. All per-op state lives in flat preallocated
@@ -144,6 +165,12 @@ type backend struct {
 	// exceeds it (strictly: a run finishing exactly at the cap completes,
 	// so throughput ties with a pruning cutoff are never lost).
 	deadline float64
+	// faults, when non-nil, perturbs op durations at virtual timestamps
+	// and aborts the walk on a device failure; failedDev/failTime record
+	// the triggering Fail event for the run's verdict.
+	faults    *FaultPlan
+	failedDev int
+	failTime  float64
 
 	// transfers is indexed by transferIdx(kind, micro, stage): 2·B·S slots.
 	// A directed link's sends resolve in issue order; since a directed link
@@ -206,6 +233,13 @@ func (b *backend) resolveSend(tr *transfer) {
 	}
 	p := b.s.P
 	dur := b.cost.CommTime(tr.link/p, tr.link%p)
+	if b.faults != nil {
+		// A transfer starting at or after a LinkDegrade runs at the
+		// degraded rate; factors are in (0,1] so this only lengthens it.
+		if f := b.faults.linkAt(tr.link/p, tr.link%p, start); f != 1 {
+			dur /= f
+		}
+	}
 	b.linkFree[tr.link] = start + dur
 	tr.arrival = start + dur
 	tr.resolved = true
@@ -240,6 +274,13 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 		dur = b.cost.BackwardTime(d, a.Stage)
 	}
 	start := b.time[d]
+	if b.faults != nil {
+		// An op starting at or after a SlowDown runs at the degraded
+		// speed (factors compose; all are in (0,1], so dur only grows).
+		if f := b.faults.speedAt(d, start); f != 1 {
+			dur /= f
+		}
+	}
 	end := start + dur
 	b.res.Busy[d] += dur
 	b.time[d] = end
@@ -250,6 +291,16 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 		}
 	} else {
 		b.liveActs[d]--
+	}
+	if b.faults != nil {
+		// An op still running at the device's Fail timestamp never
+		// completes (strictly: one ending exactly at the timestamp does).
+		// Checked before the deadline so a doomed run reports the
+		// deterministic failure verdict, not a cap-dependent bound.
+		if at, dead := b.faults.failAt(d); dead && at < end {
+			b.failedDev, b.failTime = d, at
+			return start, end, errFailed
+		}
 	}
 	if b.deadline > 0 && end > b.deadline {
 		// State is already advanced, so the partial result ends at (and
@@ -347,6 +398,18 @@ func (b *backend) Drain(d, idx int, a sched.Action) error {
 
 func (b *backend) Flush(d int, a sched.Action) error {
 	b.time[d] += b.opt.FlushTime
+	if b.faults != nil {
+		// The flush is the last op on every device's list, so a Fail
+		// timestamp the compute ops never spanned is caught here: a dead
+		// device cannot join the gradient all-reduce. The check mirrors
+		// Compute's — the device fails if it dies strictly before the
+		// flush would complete. (Slowdowns do not scale the flush — it
+		// models a collective, not device compute.)
+		if at, dead := b.faults.failAt(d); dead && at < b.time[d] {
+			b.failedDev, b.failTime = d, at
+			return errFailed
+		}
+	}
 	if b.deadline > 0 && b.time[d] > b.deadline {
 		return errDeadline
 	}
@@ -381,8 +444,39 @@ func NewRunner() *Runner { return &Runner{} }
 // interpreter, reusing the Runner's arenas. The returned Result is owned
 // by the Runner and valid only until the next Run.
 func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
-	res, _, err := r.run(s, cost, opt, 0)
+	res, _, err := r.run(s, cost, opt, 0, nil)
 	return res, err
+}
+
+// RunFaults executes the schedule under a fault plan: SlowDown and
+// LinkDegrade events stretch op durations from their virtual timestamps
+// on, and a Fail event aborts the walk with Result.Failed set — the run
+// is infeasible on the faulty cluster and Result.Recovery estimates the
+// restart-from-checkpoint makespan. A nil plan is bit-for-bit Run. The
+// fault path allocates nothing in steady state (the event list is scanned
+// in place), pinned by the same AllocsPerRun regression suite as Run.
+func (r *Runner) RunFaults(s *sched.Schedule, cost Cost, opt Options, plan *FaultPlan) (*Result, error) {
+	if err := plan.Validate(s.P); err != nil {
+		return nil, err
+	}
+	res, _, err := r.run(s, cost, opt, 0, plan)
+	return res, err
+}
+
+// RunFaultsDeadline combines RunFaults with RunDeadline's virtual-clock
+// cap — the bound-and-prune sweep's measurement path on a faulty
+// cluster. A run that hits its Fail event before the cap reports the
+// deterministic failure verdict (exceeded false, Result.Failed true);
+// one that passes the cap first reports the bound verdict exactly as
+// RunDeadline does.
+func (r *Runner) RunFaultsDeadline(s *sched.Schedule, cost Cost, opt Options, plan *FaultPlan, cap float64) (*Result, bool, error) {
+	if cap <= 0 {
+		return nil, false, fmt.Errorf("sim: RunFaultsDeadline cap must be positive, got %g", cap)
+	}
+	if err := plan.Validate(s.P); err != nil {
+		return nil, false, err
+	}
+	return r.run(s, cost, opt, cap, plan)
 }
 
 // RunDeadline is the timing twin of memtrace.Replayer.RunBudget: it
@@ -399,22 +493,30 @@ func (r *Runner) RunDeadline(s *sched.Schedule, cost Cost, opt Options, cap floa
 	if cap <= 0 {
 		return nil, false, fmt.Errorf("sim: RunDeadline cap must be positive, got %g", cap)
 	}
-	return r.run(s, cost, opt, cap)
+	return r.run(s, cost, opt, cap, nil)
 }
 
-func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64) (*Result, bool, error) {
+func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64, faults *FaultPlan) (*Result, bool, error) {
 	p := s.P
 	res := &r.res
 	res.Schedule = s
 	res.Makespan = 0
 	res.Records = nil
 	res.Zones = [NumZones]float64{}
+	res.Failed = false
+	res.FailedDevice = 0
+	res.FailTime = 0
+	res.Recovery = 0
 	res.Busy = exec.Arena(res.Busy, p)
 	res.End = exec.Arena(res.End, p)
 	res.PeakActs = exec.Arena(res.PeakActs, p)
 	be := &r.be
 	be.s, be.cost, be.opt, be.res = s, cost, opt, res
 	be.deadline = deadline
+	be.faults = faults
+	if faults != nil && len(faults.Events) == 0 && faults.RestartCost == 0 {
+		be.faults = nil // empty plan: keep the fault-free hot path branch-free
+	}
 	be.transfers = exec.Arena(be.transfers, 2*s.B*s.S)
 	be.linkFree = exec.Arena(be.linkFree, p*p)
 	be.time = exec.Arena(be.time, p)
@@ -435,6 +537,43 @@ func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64
 				}
 			}
 			return res, true, nil
+		}
+		if errors.Is(err, errFailed) {
+			// Infeasible, not an error: the device died mid-schedule. The
+			// partial result keeps the executed prefix, and Recovery
+			// estimates the restart-from-checkpoint iteration: everything
+			// up to the failure is lost (FailTime), the cluster pays the
+			// plan's RestartCost, then the iteration re-executes — floored
+			// by the busiest device's serial compute plus the flush,
+			// derived from the schedule and cost model alone so the
+			// estimate is independent of where the walk happened to abort.
+			res.Records = recs
+			for d := 0; d < p; d++ {
+				res.End[d] = be.time[d]
+				if be.time[d] > res.Makespan {
+					res.Makespan = be.time[d]
+				}
+			}
+			res.Failed = true
+			res.FailedDevice = be.failedDev
+			res.FailTime = be.failTime
+			maxWork := 0.0
+			for d := 0; d < p; d++ {
+				w := 0.0
+				for _, a := range s.Lists[d] {
+					switch a.Kind {
+					case sched.OpForward:
+						w += cost.ForwardTime(d, a.Stage)
+					case sched.OpBackward:
+						w += cost.BackwardTime(d, a.Stage)
+					}
+				}
+				if w > maxWork {
+					maxWork = w
+				}
+			}
+			res.Recovery = be.failTime + be.faults.RestartCost + maxWork + opt.FlushTime
+			return res, false, nil
 		}
 		return nil, false, fmt.Errorf("sim: %w", err)
 	}
@@ -458,6 +597,12 @@ func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64
 // is not shared with any reusable state and may be retained freely.
 func Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error) {
 	return NewRunner().Run(s, cost, opt)
+}
+
+// RunFaults executes the schedule under a fault plan on a fresh
+// single-use Runner (see Runner.RunFaults); a nil plan is exactly Run.
+func RunFaults(s *sched.Schedule, cost Cost, opt Options, plan *FaultPlan) (*Result, error) {
+	return NewRunner().RunFaults(s, cost, opt, plan)
 }
 
 // Throughput converts a makespan into sequences/s for the given total batch
