@@ -112,6 +112,28 @@ func BenchmarkGeneratorReuse(b *testing.B) {
 	b.ReportMetric(float64(s.NumActions()), "ops/schedule")
 }
 
+// BenchmarkScheduleGenerationZBH1 measures the zero-bubble split scheme's
+// compilation at the same 32-device scale — three compute segments (F,
+// BI, BW) plus the bubble-filling weight-grad placement pass — through a
+// reused Generator, so CI's alloc smoke pins its steady state at exactly
+// 0 allocs/op alongside BenchmarkGeneratorReuse.
+func BenchmarkScheduleGenerationZBH1(b *testing.B) {
+	g := sched.NewGenerator()
+	s, err := g.Generate("zbh1", 32, 32) // warm the arenas
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate("zbh1", 32, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.NumActions()), "ops/schedule")
+}
+
 // BenchmarkSimulator measures the discrete-event executor on a 32-device
 // wave schedule.
 func BenchmarkSimulator(b *testing.B) {

@@ -105,6 +105,16 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}))
+	// The zero-bubble split scheme at the same device scale: one validated
+	// ZB-H1 schedule per op (three compute segments — F, BI, BW — instead
+	// of two, plus the bubble-filling weight-grad placement pass).
+	add(measure("schedule_generation_zbh1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.ZBH1(32, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 	// The same compilation through one reused Generator: the sweep/service
 	// steady state, 0 allocs/op once the arenas are warm.
 	add(measure("generator_reuse_p32w4b32", func(b *testing.B) {

@@ -8,6 +8,7 @@
 //	hanayo-bench -exp fig10 -workers 1   # serial configuration search
 //	hanayo-bench -exp fig10 -prune       # memtrace-first OOM pruning
 //	hanayo-bench -exp fig10 -topk 3      # bound-and-prune: exact top 3 only
+//	hanayo-bench -exp fig10 -scheme zbh1 # sweep the zero-bubble split scheme too
 //	hanayo-bench -exp fig10 -straggler 0:0.5      # search with device 0 at half speed
 //	hanayo-bench -exp fig10 -faultplan plan.json  # inject a fault plan into the sweep
 //	hanayo-bench -exp xtr02  # best scheme vs straggler severity table
@@ -43,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "AutoTune sweep workers (fig10): 0 = one per CPU, 1 = serial")
 	prune := flag.Bool("prune", false, "fig10: memtrace-first OOM pruning (infeasible cells skip the timing simulation)")
 	topk := flag.Int("topk", 0, "fig10: bound-and-prune search keeping this many exact ranks (0 = exhaustive)")
+	scheme := flag.String("scheme", "", "fig10: sweep one extra scheme alongside the default set (e.g. zbh1)")
 	straggler := flag.String("straggler", "", "fig10: perturb the search cluster, dev:factor (e.g. 0:0.5 runs device 0 at half speed)")
 	faultplan := flag.String("faultplan", "", "fig10: inject a JSON fault plan file into the sweep (events: slowdown/linkdegrade/fail)")
 	repeat := flag.Int("repeat", 1, "run the selected experiments this many times (steady-state profiling); only the last run prints")
@@ -53,6 +55,7 @@ func main() {
 	experiments.AutoTuneWorkers = *workers
 	experiments.AutoTunePrune = *prune
 	experiments.AutoTuneTopK = *topk
+	experiments.ExtraScheme = *scheme
 	experiments.Straggler = *straggler
 	if *faultplan != "" {
 		data, err := os.ReadFile(*faultplan)

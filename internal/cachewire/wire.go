@@ -51,6 +51,13 @@ type Entry struct {
 	// estimate) stay with the measuring process — they inform operators,
 	// not the ranking, which needs only "this cell cannot complete".
 	Failed bool
+	// SplitBW marks an evaluation measured under split-backward semantics
+	// (a zero-bubble scheme whose backwards run as separate input-grad and
+	// weight-grad actions, e.g. zbh1). The bit keeps split and fused
+	// verdicts distinguishable on the shared tier even if a future key
+	// scheme collides their hashes, and lets operators audit which cache
+	// rows came from the split executor.
+	SplitBW bool
 }
 
 // Flag bits of the encoded entry's second byte. Decoders built before a
@@ -58,9 +65,10 @@ type Entry struct {
 // adding a flag is forward-safe: old builds degrade to misses instead of
 // misreading new verdicts.
 const (
-	flagFits   = 1 << 0
-	flagPruned = 1 << 1
-	flagFailed = 1 << 2
+	flagFits    = 1 << 0
+	flagPruned  = 1 << 1
+	flagFailed  = 1 << 2
+	flagSplitBW = 1 << 3
 )
 
 // AppendEntry appends the encoded form of e to dst and returns the
@@ -77,6 +85,9 @@ func AppendEntry(dst []byte, e Entry) []byte {
 	}
 	if e.Failed {
 		flags |= flagFailed
+	}
+	if e.SplitBW {
+		flags |= flagSplitBW
 	}
 	dst = append(dst, Version, flags)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.PerReplica))
@@ -95,7 +106,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 	if b[0] != Version {
 		return Entry{}, fmt.Errorf("cachewire: entry version %d, this build speaks %d", b[0], Version)
 	}
-	if b[1]&^(flagFits|flagPruned|flagFailed) != 0 {
+	if b[1]&^(flagFits|flagPruned|flagFailed|flagSplitBW) != 0 {
 		return Entry{}, fmt.Errorf("cachewire: unknown flag bits %#x", b[1])
 	}
 	return Entry{
@@ -104,6 +115,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 		Fits:       b[1]&flagFits != 0,
 		Pruned:     b[1]&flagPruned != 0,
 		Failed:     b[1]&flagFailed != 0,
+		SplitBW:    b[1]&flagSplitBW != 0,
 	}, nil
 }
 

@@ -144,7 +144,18 @@ type evalShared struct {
 	failedDev int
 	failTime  float64
 	recovery  float64
+	// splitBW marks an evaluation measured under split-backward semantics
+	// (zbh1-family schemes whose backwards run as separate input-grad and
+	// weight-grad actions). Carried through the cache tiers as the wire
+	// entry's SplitBW flag so split and fused verdicts stay auditable.
+	splitBW bool
 }
+
+// splitBackwardScheme reports whether scheme executes split backwards —
+// separate OpBackwardInput/OpBackwardWeight actions instead of the fused
+// OpBackward — mirroring sched's scheme-family resolution. It tags
+// evaluations for the cache tiers' SplitBW flag.
+func splitBackwardScheme(scheme string) bool { return scheme == "zbh1" }
 
 type evalEntry struct {
 	once sync.Once
@@ -350,7 +361,8 @@ func (p Plan) evaluateShared(opt EvalOptions) (*evalShared, error) {
 		}
 		mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, mt.PeakActs)
 		return &evalShared{mt: mt, mem: mem, maxGB: mem.MaxGB(),
-			fits: memmodel.FitsCluster(mem, p.Cluster, memMargin)}, nil
+			fits:    memmodel.FitsCluster(mem, p.Cluster, memMargin),
+			splitBW: splitBackwardScheme(p.Scheme)}, nil
 	}
 	return p.simEvaluate(s, opt.Sim, nil, 0)
 }
@@ -394,7 +406,8 @@ func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner
 		// verdict with the sim's recovery diagnostic — no memory estimate
 		// or throughput exists for the aborted prefix.
 		return &evalShared{failed: true, failedDev: r.FailedDevice,
-			failTime: r.FailTime, recovery: r.Recovery}, nil
+			failTime: r.FailTime, recovery: r.Recovery,
+			splitBW: splitBackwardScheme(p.Scheme)}, nil
 	}
 	mem := memmodel.ForSchedule(s, p.Model, p.MicroRows, r.PeakActs)
 	es := &evalShared{
@@ -402,6 +415,7 @@ func (p Plan) simEvaluate(s *sched.Schedule, opt sim.Options, runner *sim.Runner
 		maxGB:      mem.MaxGB(),
 		fits:       memmodel.FitsCluster(mem, p.Cluster, memMargin),
 		perReplica: sim.Throughput(r, p.B*p.MicroRows),
+		splitBW:    splitBackwardScheme(p.Scheme),
 	}
 	if runner == nil {
 		es.sim = r // fresh single-use result: safe to retain
@@ -640,7 +654,8 @@ func (ev *evaluator) evalScheduleDeadline(s *sched.Schedule, plan Plan, prune bo
 		if overweight {
 			// Weights alone overflow a device: OOM before any execution.
 			mem := &memmodel.Estimate{WeightBytes: weights, ActBytes: make([]float64, s.P)}
-			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true}, nil
+			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true,
+				splitBW: splitBackwardScheme(plan.Scheme)}, nil
 		}
 		mt, exceeded, err := ev.replay.RunBudget(s, model, rows, ev.budget)
 		if err != nil {
@@ -653,7 +668,8 @@ func (ev *evaluator) evalScheduleDeadline(s *sched.Schedule, plan Plan, prune bo
 			acts := make([]float64, s.P)
 			copy(acts, mt.PeakBytes)
 			mem := &memmodel.Estimate{WeightBytes: weights, ActBytes: acts}
-			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true}, nil
+			return &evalShared{mem: mem, maxGB: mem.MaxGB(), pruned: true,
+				splitBW: splitBackwardScheme(plan.Scheme)}, nil
 		}
 		// Fits: fall through to the timing model.
 	}

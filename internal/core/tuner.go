@@ -180,7 +180,7 @@ func (t *Tuner) remoteGet(h uint64) (tunerEntry, bool) {
 		return tunerEntry{}, false
 	}
 	return tunerEntry{perReplica: we.PerReplica, maxGB: we.MaxGB,
-		fits: we.Fits, pruned: we.Pruned, failed: we.Failed}, true
+		fits: we.Fits, pruned: we.Pruned, failed: we.Failed, splitBW: we.SplitBW}, true
 }
 
 // remotePut publishes a fresh evaluation to the cross-process tier,
@@ -190,7 +190,7 @@ func (t *Tuner) remotePut(h uint64, e tunerEntry) {
 		return
 	}
 	we := cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB,
-		Fits: e.fits, Pruned: e.pruned, Failed: e.failed}
+		Fits: e.fits, Pruned: e.pruned, Failed: e.failed, SplitBW: e.splitBW}
 	if err := t.remote.Put(h, we); err != nil {
 		t.rerrs.Add(1)
 	}
@@ -236,7 +236,8 @@ func (sr *sweepRemote) prefetch(gks []tunerKey, hks []uint64) {
 			continue
 		}
 		ent := tunerEntry{perReplica: out[i].PerReplica, maxGB: out[i].MaxGB,
-			fits: out[i].Fits, pruned: out[i].Pruned, failed: out[i].Failed}
+			fits: out[i].Fits, pruned: out[i].Pruned, failed: out[i].Failed,
+			splitBW: out[i].SplitBW}
 		sr.hits[hk] = ent
 		t.cache.put(gks[i], hk, ent)
 	}
@@ -247,7 +248,7 @@ func (sr *sweepRemote) publish(h uint64, e tunerEntry) {
 	sr.mu.Lock()
 	sr.keys = append(sr.keys, h)
 	sr.ents = append(sr.ents, cachewire.Entry{PerReplica: e.perReplica, MaxGB: e.maxGB,
-		Fits: e.fits, Pruned: e.pruned, Failed: e.failed})
+		Fits: e.fits, Pruned: e.pruned, Failed: e.failed, SplitBW: e.splitBW})
 	sr.mu.Unlock()
 }
 
@@ -360,6 +361,7 @@ type tunerEntry struct {
 	fits       bool
 	pruned     bool
 	failed     bool
+	splitBW    bool
 	failedDev  int
 	failTime   float64
 	recovery   float64
@@ -369,13 +371,15 @@ type tunerEntry struct {
 // shape (no sim/mem pointers: those never enter the cache).
 func (e tunerEntry) toShared() *evalShared {
 	return &evalShared{fits: e.fits, pruned: e.pruned, maxGB: e.maxGB, perReplica: e.perReplica,
-		failed: e.failed, failedDev: e.failedDev, failTime: e.failTime, recovery: e.recovery}
+		failed: e.failed, failedDev: e.failedDev, failTime: e.failTime, recovery: e.recovery,
+		splitBW: e.splitBW}
 }
 
 // entryFrom compacts one fresh evaluation for the cache tiers.
 func entryFrom(es *evalShared) tunerEntry {
 	return tunerEntry{fits: es.fits, pruned: es.pruned, maxGB: es.maxGB, perReplica: es.perReplica,
-		failed: es.failed, failedDev: es.failedDev, failTime: es.failTime, recovery: es.recovery}
+		failed: es.failed, failedDev: es.failedDev, failTime: es.failTime, recovery: es.recovery,
+		splitBW: es.splitBW}
 }
 
 // tunerShards is the shard count of the cross-sweep cache; key hashes

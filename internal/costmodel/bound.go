@@ -26,7 +26,8 @@ package costmodel
 // ignores Options.FlushTime, no-prefetch and unbatched communication,
 // all of which only increase the simulated makespan, so
 // LowerBound ≤ sim makespan holds across every option set (property-
-// tested against sim.Run for all nine schemes).
+// tested against sim.Run for every named scheme, the zero-bubble split
+// zbh1 included).
 //
 // Heterogeneity and faults. The certificates read cl.Flops and
 // cl.CommTime per device and per link, so static heterogeneity — GPU
@@ -49,7 +50,7 @@ import (
 	"repro/internal/sched"
 )
 
-// Placement families of the nine sweep schemes. The device functions are
+// Placement families of the sweep schemes. The device functions are
 // closed-form (no Mapping is built), which is what keeps the bound
 // allocation-free.
 const (
@@ -67,6 +68,15 @@ type boundShape struct {
 	kind  int
 	p, s  int
 	pipes int
+	// split marks a zero-bubble split-backward scheme (zbh1): per-stage
+	// per-micro compute is still 3·tf (tf + tbi + tw with tbi = tw = tf),
+	// but the certificates change shape. The single-micro critical path
+	// descends through the input-grad halves only (tbi, not tb) and ends at
+	// stage 0's weight-grad op, and the per-device drain term vanishes: a
+	// device's final compute is a dependency-free W, not a backward feeding
+	// a gradient chain that still has to run after it. Both adjustments
+	// only weaken the bound, keeping it a proven floor.
+	split bool
 }
 
 // dev returns the device executing stage in the given pipe (pipe is
@@ -125,6 +135,8 @@ func boundShapeFor(scheme string, p, b int) (boundShape, error) {
 	switch scheme {
 	case "gpipe", "dapple", "1f1b":
 		return boundShape{kind: boundStraight, p: p, s: p, pipes: 1}, nil
+	case "zbh1":
+		return boundShape{kind: boundStraight, p: p, s: p, pipes: 1, split: true}, nil
 	case "chimera", "gems":
 		if b%2 != 0 {
 			return boundShape{}, fmt.Errorf("costmodel: %s needs an even micro-batch count, got %d", scheme, b)
@@ -187,7 +199,13 @@ func LowerBound(w Workload, cl *cluster.Cluster, p, d, b int, scheme string) (fl
 		for s := 0; s < sh.s; s++ {
 			dv := sh.dev(pipe, s)
 			tf := stageFLOPs / cl.Flops(dv)
-			chain += 3 * tf // tf + tb
+			if sh.split {
+				// The backward descent runs input-grad halves only:
+				// tf + tbi with tbi = tb/2 = tf under the default ratio.
+				chain += 2 * tf
+			} else {
+				chain += 3 * tf // tf + tb
+			}
 			if s > 0 && prev != dv {
 				act := cl.CommTime(prev, dv, actBytes)  // forward activation hop
 				grad := cl.CommTime(dv, prev, actBytes) // backward gradient hop
@@ -200,6 +218,11 @@ func LowerBound(w Workload, cl *cluster.Cluster, p, d, b int, scheme string) (fl
 				}
 			}
 			prev = dv
+		}
+		if sh.split {
+			// The chain ends at stage 0's weight-grad op, which can only
+			// start after its input-grad half: tw = tb − tb/2 = tf.
+			chain += stageFLOPs / cl.Flops(sh.dev(pipe, 0))
 		}
 		if chain > lb {
 			lb = chain
@@ -243,6 +266,12 @@ func LowerBound(w Workload, cl *cluster.Cluster, p, d, b int, scheme string) (fl
 			}
 		}
 		if busy > 0 {
+			if sh.split {
+				// A split device's final compute is a dependency-free
+				// weight-grad op — nothing is forced to run after it, so
+				// only occupancy (start + serial compute) survives.
+				drain = 0
+			}
 			if db := earliest + busy + drain; db > lb {
 				lb = db
 			}

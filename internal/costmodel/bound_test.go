@@ -10,10 +10,13 @@ import (
 	"repro/internal/sim"
 )
 
-// boundSchemes is the full nine-scheme sweep set the bound must cover.
+// boundSchemes is the full sweep-scheme set the bound must cover, the
+// zero-bubble split zbh1 included: its simulated compute per (stage,
+// micro) is BI + BW = fused B, so the fused certificates must still floor
+// its makespan.
 var boundSchemes = []string{
 	"gpipe", "dapple", "chimera", "chimera-wave",
-	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems",
+	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems", "zbh1",
 }
 
 // TestLowerBoundNeverExceedsSimulation is the soundness property the

@@ -70,6 +70,7 @@ type Cost struct {
 	// Cost).
 	p           int
 	fwd, bwd    []float64
+	bwdIn, bwdW []float64
 	comm        []float64
 	builtHet    bool
 	builtRatio  float64
@@ -109,12 +110,22 @@ func New(w Workload, cl *cluster.Cluster, sc *sched.Schedule) (*Cost, error) {
 func (c *Cost) Recalc() {
 	c.fwd = make([]float64, c.p*c.S)
 	c.bwd = make([]float64, c.p*c.S)
+	c.bwdIn = make([]float64, c.p*c.S)
+	c.bwdW = make([]float64, c.p*c.S)
 	c.comm = make([]float64, c.p*c.p)
 	for d := 0; d < c.p; d++ {
 		for s := 0; s < c.S; s++ {
 			t := c.forwardTimeSlow(d, s)
 			c.fwd[d*c.S+s] = t
-			c.bwd[d*c.S+s] = c.BackwardRatio * t
+			b := c.BackwardRatio * t
+			c.bwd[d*c.S+s] = b
+			// Split-backward halves for zero-bubble schemes. The input-grad
+			// half is half the fused time and the weight-grad half is the
+			// exact remainder, so bwdIn + bwdW == bwd bit-for-bit: a split
+			// scheme's total compute equals the fused scheme's, and fused
+			// schemes' makespans are provably unchanged by the split tables.
+			c.bwdIn[d*c.S+s] = b / 2
+			c.bwdW[d*c.S+s] = b - b/2
 		}
 		for dst := 0; dst < c.p; dst++ {
 			c.comm[d*c.p+dst] = c.C.CommTime(d, dst, ActivationBytes(c.W.Model, c.W.MicroRows))
@@ -191,6 +202,35 @@ func (c *Cost) BackwardTime(d, stage int) float64 {
 	return c.BackwardRatio * c.forwardTimeSlow(d, stage)
 }
 
+// BackwardInputTime returns the input-gradient half of the stage backward
+// time on device d (table lookup) — the critical-path half a zero-bubble
+// split scheme prices separately. BackwardInputTime + BackwardWeightTime
+// equals BackwardTime exactly.
+func (c *Cost) BackwardInputTime(d, stage int) float64 {
+	if d < c.p && stage < c.S {
+		if c.stale() {
+			c.Recalc()
+		}
+		return c.bwdIn[d*c.S+stage]
+	}
+	return c.BackwardTime(d, stage) / 2
+}
+
+// BackwardWeightTime returns the weight-gradient half of the stage backward
+// time on device d (table lookup) — the dependency-free bubble-filler half.
+// It is the exact remainder BackwardTime − BackwardInputTime, so the split
+// halves always sum to the fused duration bit-for-bit.
+func (c *Cost) BackwardWeightTime(d, stage int) float64 {
+	if d < c.p && stage < c.S {
+		if c.stale() {
+			c.Recalc()
+		}
+		return c.bwdW[d*c.S+stage]
+	}
+	b := c.BackwardTime(d, stage)
+	return b - b/2
+}
+
 // StageImbalance returns the heaviest-over-lightest forward-stage ratio —
 // 1.0 for the uniform model, > 1 with Heterogeneous set. The wave
 // placement softens the impact of boundary-stage weight because stage 0
@@ -233,6 +273,13 @@ func (u Uniform) ForwardTime(d, stage int) float64 { return u.Tf }
 
 // BackwardTime returns Tb.
 func (u Uniform) BackwardTime(d, stage int) float64 { return u.Tb }
+
+// BackwardInputTime returns the input-gradient half of Tb.
+func (u Uniform) BackwardInputTime(d, stage int) float64 { return u.Tb / 2 }
+
+// BackwardWeightTime returns the weight-gradient half of Tb — the exact
+// remainder, so the split halves sum to Tb bit-for-bit.
+func (u Uniform) BackwardWeightTime(d, stage int) float64 { return u.Tb - u.Tb/2 }
 
 // CommTime returns Tc for distinct devices.
 func (u Uniform) CommTime(src, dst int) float64 {

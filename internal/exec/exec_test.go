@@ -144,6 +144,23 @@ var golden = []struct {
 	{"gems", 8, 16, "default", 197.6, 384, 12.6, 0, 24.6, 1159.6, 2},
 	{"gems", 8, 16, "noprefetch", 197.6, 384, 12.6, 0, 24.6, 1159.6, 2},
 	{"gems", 8, 16, "flush", 198.1, 384, 12.6, 0, 24.6, 1159.6, 2},
+	// zbh1 rows were produced by the same recipe on the split-backward
+	// executor path (OpBackwardInput/OpBackwardWeight priced by Uniform's
+	// SplitCost halves). Note the peak column: 3 at P=4 and 6 at P=8, below
+	// dapple's P−s cap of 4 and 8 — the zero-bubble split's memory win,
+	// asserted strictly in the memtrace suite.
+	{"zbh1", 4, 4, "default", 19.4, 48, 7.4, 0, 12.5, 9.7, 3},
+	{"zbh1", 4, 4, "noprefetch", 19.6, 48, 7.65, 0.15, 12.7, 9.9, 3},
+	{"zbh1", 4, 4, "flush", 19.9, 48, 7.4, 0, 12.5, 9.7, 3},
+	{"zbh1", 4, 8, "default", 32.5, 96, 8.6, 3.1, 12.5, 9.8, 3},
+	{"zbh1", 4, 8, "noprefetch", 32.9, 96, 9.35, 3.7, 12.15, 10.4, 3},
+	{"zbh1", 4, 8, "flush", 33, 96, 8.6, 3.1, 12.5, 9.8, 3},
+	{"zbh1", 8, 8, "default", 40.9, 192, 33.7, 1, 55.1, 45.4, 6},
+	{"zbh1", 8, 8, "noprefetch", 41.55, 192, 34.65, 1.3, 57.4, 47.05, 6},
+	{"zbh1", 8, 8, "flush", 41.4, 192, 33.7, 1, 55.1, 45.4, 6},
+	{"zbh1", 8, 16, "default", 72.3, 384, 44.9, 26, 65.5, 58, 6},
+	{"zbh1", 8, 16, "noprefetch", 73.35, 384, 47.7, 28.2, 64.75, 62.15, 6},
+	{"zbh1", 8, 16, "flush", 72.8, 384, 44.9, 26, 65.5, 58, 6},
 }
 
 func simOptions(name string) sim.Options {
@@ -204,6 +221,69 @@ func TestSimBackendParity(t *testing.T) {
 		if peak != g.peak {
 			t.Errorf("%s P=%d B=%d %s: peak acts = %d, pre-refactor %d",
 				g.scheme, g.p, g.b, g.opts, peak, g.peak)
+		}
+	}
+}
+
+// TestFusedSplitEquivalence pins the fused/split correspondence the whole
+// zero-bubble extension rests on: a zbh1 schedule generated in eager-W mode
+// (each weight-grad action runs immediately after its input-grad half, the
+// gradient send re-attached to the W) under 1F1B's P−s inflight cap must
+// reproduce dapple's simulation exactly — makespan, per-device busy and
+// end times, every zone total and every activation peak — when the split
+// halves sum to the fused backward (Uniform's SplitCost guarantees Tb/2 +
+// (Tb − Tb/2) = Tb). Any drift in the split compute pricing, the comm
+// placement around BI/BW or the interpreter's handling of the new kinds
+// breaks this equality.
+func TestFusedSplitEquivalence(t *testing.T) {
+	for _, sh := range []struct{ p, b int }{{4, 4}, {4, 8}, {8, 8}, {8, 16}} {
+		p := sh.p
+		eager := func(gp *sched.GenParams) {
+			gp.EagerW = true
+			gp.InflightCap = func(stage, chunk int) int { return p - stage }
+		}
+		zs, err := sched.ZBH1(sh.p, sh.b, eager)
+		if err != nil {
+			t.Fatalf("zbh1 P=%d B=%d: %v", sh.p, sh.b, err)
+		}
+		ds, err := sched.DAPPLE(sh.p, sh.b)
+		if err != nil {
+			t.Fatalf("dapple P=%d B=%d: %v", sh.p, sh.b, err)
+		}
+		cost := costmodel.Uniform{Tf: 1, Tb: 2, Tc: 0.05}
+		for _, opts := range []string{"default", "noprefetch", "flush"} {
+			zr, err := sim.Run(zs, cost, simOptions(opts))
+			if err != nil {
+				t.Fatalf("zbh1 P=%d B=%d %s: %v", sh.p, sh.b, opts, err)
+			}
+			dr, err := sim.Run(ds, cost, simOptions(opts))
+			if err != nil {
+				t.Fatalf("dapple P=%d B=%d %s: %v", sh.p, sh.b, opts, err)
+			}
+			if zr.Makespan != dr.Makespan {
+				t.Errorf("P=%d B=%d %s: makespan %.9g, dapple %.9g",
+					sh.p, sh.b, opts, zr.Makespan, dr.Makespan)
+			}
+			for z := 0; z < sim.NumZones; z++ {
+				if zr.Zones[z] != dr.Zones[z] {
+					t.Errorf("P=%d B=%d %s: zone %v total %.9g, dapple %.9g",
+						sh.p, sh.b, opts, sim.Zone(z), zr.Zones[z], dr.Zones[z])
+				}
+			}
+			for d := 0; d < sh.p; d++ {
+				if zr.Busy[d] != dr.Busy[d] {
+					t.Errorf("P=%d B=%d %s: device %d busy %.9g, dapple %.9g",
+						sh.p, sh.b, opts, d, zr.Busy[d], dr.Busy[d])
+				}
+				if zr.End[d] != dr.End[d] {
+					t.Errorf("P=%d B=%d %s: device %d end %.9g, dapple %.9g",
+						sh.p, sh.b, opts, d, zr.End[d], dr.End[d])
+				}
+				if zr.PeakActs[d] != dr.PeakActs[d] {
+					t.Errorf("P=%d B=%d %s: device %d peak %d, dapple %d",
+						sh.p, sh.b, opts, d, zr.PeakActs[d], dr.PeakActs[d])
+				}
+			}
 		}
 	}
 }

@@ -47,6 +47,12 @@ var AutoTuneTopK int
 // this machine running slow?" without editing presets.
 var Straggler string
 
+// ExtraScheme, when non-empty, appends one scheme to the fig10 search's
+// default set (core.DefaultSchemes) — the -scheme flag of
+// cmd/hanayo-bench, for sweeping the zero-bubble zbh1 alongside the
+// paper's trio without unfreezing the committed Fig 10 tables.
+var ExtraScheme string
+
 // Faults, when non-nil, injects a fault plan into the fig10 search
 // (SearchSpace.Faults): cmd/hanayo-bench parses its -faultplan JSON
 // file into this. Failed cells surface as FAIL rows with a recovery

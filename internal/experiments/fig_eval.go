@@ -91,6 +91,8 @@ func displayName(s string) string {
 		return "GPipe"
 	case "dapple":
 		return "DAPPLE"
+	case "zbh1":
+		return "ZB-H1"
 	}
 	if strings.HasPrefix(s, "hanayo-w") {
 		return "Hanayo-" + strings.TrimPrefix(s, "hanayo-w") + "w"
@@ -156,7 +158,13 @@ func fig10(w io.Writer) error {
 		fmt.Fprintf(w, "fault plan injected: %d events, restart cost %.1fs\n",
 			len(Faults.Events), Faults.RestartCost)
 	}
+	var schemes []string // nil → core.DefaultSchemes, the frozen Fig 10 set
+	if ExtraScheme != "" {
+		schemes = append(core.DefaultSchemes(), ExtraScheme)
+		fmt.Fprintf(w, "extra scheme swept: %s\n", ExtraScheme)
+	}
 	cands := core.AutoTune(cl, model, core.SearchSpace{
+		Schemes:   schemes,
 		PD:        [][2]int{{8, 4}, {16, 2}, {32, 1}},
 		Waves:     []int{1, 2, 4},
 		B:         16,

@@ -71,7 +71,8 @@ type backend struct {
 }
 
 func (b *backend) Compute(d int, a sched.Action) (start, end float64, err error) {
-	if a.Kind == sched.OpForward {
+	switch a.Kind {
+	case sched.OpForward:
 		b.live[d]++
 		b.bytes[d] += b.stageAct
 		if b.live[d] > b.res.PeakActs[d] {
@@ -80,9 +81,16 @@ func (b *backend) Compute(d int, a sched.Action) (start, end float64, err error)
 		if b.bytes[d] > b.res.PeakBytes[d] {
 			b.res.PeakBytes[d] = b.bytes[d]
 		}
-	} else {
+	case sched.OpBackward, sched.OpBackwardInput:
+		// A fused backward or the input-gradient half releases the
+		// activation; the weight-gradient half (below) is byte-neutral — it
+		// reads the stashed weight-grad inputs, not the boundary activation.
+		// This early release is exactly the zero-bubble split's memory win.
 		b.live[d]--
 		b.bytes[d] -= b.stageAct
+	case sched.OpBackwardWeight:
+		// Byte-neutral, but still sampled so the curve has one point per
+		// compute op like every other executor's timeline.
 	}
 	b.res.Curves[d] = append(b.res.Curves[d], Sample{Op: b.ops[d], Bytes: b.bytes[d]})
 	start = float64(b.ops[d])

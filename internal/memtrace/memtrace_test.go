@@ -17,7 +17,7 @@ import (
 func TestPeaksMatchSimulator(t *testing.T) {
 	cfg := nn.BERTStyle()
 	for _, scheme := range []string{"gpipe", "dapple", "chimera", "chimera-wave",
-		"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems"} {
+		"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems", "zbh1"} {
 		for _, shape := range []struct{ p, b int }{{4, 4}, {4, 8}, {8, 8}} {
 			s, err := sched.ByName(scheme, shape.p, shape.b)
 			if err != nil {
@@ -38,6 +38,51 @@ func TestPeaksMatchSimulator(t *testing.T) {
 						scheme, shape.p, shape.b, d, mt.PeakActs[d], r.PeakActs[d])
 				}
 			}
+		}
+	}
+}
+
+// TestZBH1PeakBelowFused is the zero-bubble split's memory claim, measured
+// rather than argued: at equal (P, B), zbh1's replayed peak live bytes
+// never exceed fused 1F1B's on any device, and at the Fig 10 sweep shape
+// (P=8, B=16) the maximum peak is STRICTLY below it — the input-grad half
+// releases each activation a full weight-grad slot earlier, and zbh1's
+// tighter inflight cap (⌈2(P−1−s)/3⌉+1 < P−s) turns that into fewer
+// resident activations, not just earlier frees.
+func TestZBH1PeakBelowFused(t *testing.T) {
+	cfg := nn.BERTStyle()
+	for _, shape := range []struct{ p, b int }{{4, 4}, {4, 8}, {8, 8}, {8, 16}} {
+		zs, err := sched.ZBH1(shape.p, shape.b)
+		if err != nil {
+			t.Fatalf("zbh1 P=%d B=%d: %v", shape.p, shape.b, err)
+		}
+		ds, err := sched.DAPPLE(shape.p, shape.b)
+		if err != nil {
+			t.Fatalf("dapple P=%d B=%d: %v", shape.p, shape.b, err)
+		}
+		zm, err := memtrace.Run(zs, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, err := memtrace.Run(ds, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zMax, dMax := 0.0, 0.0
+		for d := 0; d < shape.p; d++ {
+			if zm.PeakBytes[d] > dm.PeakBytes[d] {
+				t.Errorf("P=%d B=%d device %d: zbh1 peak %g above fused 1F1B peak %g",
+					shape.p, shape.b, d, zm.PeakBytes[d], dm.PeakBytes[d])
+			}
+			if zm.PeakBytes[d] > zMax {
+				zMax = zm.PeakBytes[d]
+			}
+			if dm.PeakBytes[d] > dMax {
+				dMax = dm.PeakBytes[d]
+			}
+		}
+		if shape.p == 8 && shape.b == 16 && zMax >= dMax {
+			t.Errorf("fig10 shape P=8 B=16: zbh1 max peak %g not strictly below fused %g", zMax, dMax)
 		}
 	}
 }

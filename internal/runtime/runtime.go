@@ -152,7 +152,11 @@ type worker struct {
 	device int
 	acts   map[actKey]*actRecord
 	dIn    map[actKey]*tensor.Tensor // input gradients produced by backward
-	scale  float32                   // loss scaling: 1/(B·DP)
+	// wPending stashes the per-param weight-gradient contribution an
+	// OpBackwardInput computed into scratch, keyed by (micro, stage), until
+	// the matching OpBackwardWeight accumulates it into Param.G.
+	wPending map[actKey][]*tensor.Tensor
+	scale    float32 // loss scaling: 1/(B·DP)
 
 	// Live boundary-activation accounting (stage outputs held between a
 	// forward and its backward), mirroring the simulator's PeakActs but
@@ -242,6 +246,57 @@ func (w *worker) backward(a sched.Action) error {
 	return nil
 }
 
+// backwardInput runs one OpBackwardInput: the full stage backward with the
+// stage's weight gradients redirected into zeroed scratch tensors, so the
+// input gradient (dx) is produced on the critical path while the weight
+// contribution is stashed for the matching OpBackwardWeight. Because each
+// stashed tensor starts at zero, it holds exactly this micro-batch's
+// contribution; deferred accumulation is then bit-for-bit the fused += as
+// long as the W ops retire in the same micro order the fused backwards
+// would — which the generator guarantees.
+func (w *worker) backwardInput(a sched.Action) error {
+	st := w.eng.stageFor(w.rep, a.Micro, a.Stage)
+	ps := st.Params()
+	scratch := make([]*tensor.Tensor, len(ps))
+	saved := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		scratch[i] = tensor.New(p.G.Shape...)
+		saved[i], p.G = p.G, scratch[i]
+	}
+	err := w.backward(a)
+	for i, p := range ps {
+		p.G = saved[i]
+	}
+	if err != nil {
+		return err
+	}
+	w.wPending[actKey{a.Micro, a.Stage}] = scratch
+	return nil
+}
+
+// backwardWeight runs one OpBackwardWeight: it accumulates the stashed
+// weight-gradient contribution of (micro, stage) into the stage's Param.G —
+// the dependency-free half of the split backward, runnable any time after
+// its OpBackwardInput and before the flush.
+func (w *worker) backwardWeight(a sched.Action) error {
+	key := actKey{a.Micro, a.Stage}
+	scratch := w.wPending[key]
+	if scratch == nil {
+		return fmt.Errorf("runtime: device %d: %v before its input-grad backward", w.device, a)
+	}
+	st := w.eng.stageFor(w.rep, a.Micro, a.Stage)
+	ps := st.Params()
+	if len(ps) != len(scratch) {
+		return fmt.Errorf("runtime: device %d: %v param mismatch (%d stashed, %d live)",
+			w.device, a, len(scratch), len(ps))
+	}
+	for i, p := range ps {
+		tensor.AxpyInPlace(p.G, 1, scratch[i])
+	}
+	delete(w.wPending, key)
+	return nil
+}
+
 // send issues one OpSendAct/OpSendGrad through the router (never blocks).
 func (w *worker) send(a sched.Action) error {
 	switch a.Kind {
@@ -306,9 +361,14 @@ func (b *rtBackend) Compute(d int, a sched.Action) (float64, float64, error) {
 	w := b.workers[d]
 	start := time.Since(b.t0).Seconds()
 	var err error
-	if a.Kind == sched.OpForward {
+	switch a.Kind {
+	case sched.OpForward:
 		err = w.forward(a)
-	} else {
+	case sched.OpBackwardInput:
+		err = w.backwardInput(a)
+	case sched.OpBackwardWeight:
+		err = w.backwardWeight(a)
+	default:
 		err = w.backward(a)
 	}
 	return start, time.Since(b.t0).Seconds(), err
@@ -368,12 +428,13 @@ func (e *Engine) Step(batch *data.Batch) (*Result, error) {
 		workers := make([]*worker, e.sch.P)
 		for d := 0; d < e.sch.P; d++ {
 			workers[d] = &worker{
-				eng:    e,
-				rep:    rep,
-				device: d,
-				acts:   map[actKey]*actRecord{},
-				dIn:    map[actKey]*tensor.Tensor{},
-				scale:  1 / float32(b*e.cfg.DP),
+				eng:      e,
+				rep:      rep,
+				device:   d,
+				acts:     map[actKey]*actRecord{},
+				dIn:      map[actKey]*tensor.Tensor{},
+				wPending: map[actKey][]*tensor.Tensor{},
+				scale:    1 / float32(b*e.cfg.DP),
 			}
 		}
 		wg.Add(1)

@@ -61,8 +61,20 @@ func AsyncOneFOneB(p, b, iters int, opts ...Option) (*Schedule, error) {
 	return NewGenerator().generate(famAsync, 0, p, b*iters, opts...)
 }
 
+// ZBH1 generates a zero-bubble ZB-H1-like schedule: straight placement and
+// 1F1B's eager-backward priority, but every backward is split into an
+// input-gradient action (OpBackwardInput — the critical path, which
+// releases the micro-batch's activation) and a weight-gradient action
+// (OpBackwardWeight — dependency-free, slotted into pipeline bubbles any
+// time before the flush). The split shortens the activation round trip, so
+// the live-activation cap tightens below 1F1B's P−s while the W fillers
+// soak up bubble time.
+func ZBH1(p, b int, opts ...Option) (*Schedule, error) {
+	return NewGenerator().generate(famZBH1, 0, p, b, opts...)
+}
+
 // ByName builds a schedule from a scheme name used by benchmarks and CLIs:
-// "gpipe", "dapple", "chimera", "chimera-wave", "hanayo-w<N>",
+// "gpipe", "dapple", "chimera", "chimera-wave", "zbh1", "hanayo-w<N>",
 // "interleaved-v<N>". It delegates to a fresh Generator, so the result is
 // structurally identical to Generator.Generate output and already
 // validated.

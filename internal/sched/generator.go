@@ -15,6 +15,7 @@ const (
 	famInterleaved
 	famGEMS
 	famAsync
+	famZBH1
 )
 
 // shapeKey identifies one cached shape: a scheme family instantiated on p
@@ -43,6 +44,7 @@ type shapeEntry struct {
 	capFn    func(stage, chunk int) int
 	priority Priority
 	barrier  bool
+	split    bool // zero-bubble family: backward split into B/W actions
 }
 
 // Generator is a reusable schedule compiler: it owns every buffer
@@ -83,7 +85,7 @@ func NewGenerator() *Generator { return &Generator{} }
 // Generate compiles and validates the named scheme for p devices and b
 // micro-batches, reusing the Generator's arenas. Scheme names are those of
 // ByName: "gpipe", "dapple"/"1f1b", "chimera", "chimera-wave", "gems",
-// "hanayo-w<N>", "interleaved-v<N>". The returned Schedule is owned by the
+// "zbh1", "hanayo-w<N>", "interleaved-v<N>". The returned Schedule is owned by the
 // Generator and valid only until the next Generate.
 func (g *Generator) Generate(scheme string, p, b int, opts ...Option) (*Schedule, error) {
 	fam, arg, ok := parseScheme(scheme)
@@ -107,6 +109,8 @@ func parseScheme(name string) (family, int, bool) {
 		return famChimeraWave, 1, true
 	case "gems":
 		return famGEMS, 0, true
+	case "zbh1":
+		return famZBH1, 0, true
 	}
 	if n, ok := suffixInt(name, "hanayo-w"); ok && n > 0 {
 		return famHanayo, n, true
@@ -160,6 +164,13 @@ func (g *Generator) generate(fam family, arg, p, b int, opts ...Option) (*Schedu
 		InflightCap:  ent.capFn,
 		Tf:           1, Tb: 2, Tc: 0.05,
 	}
+	if ent.split {
+		// Zero-bubble ordering costs: the fused backward (Tb = 2·Tf) splits
+		// into equal input-grad and weight-grad halves, so B + W costs
+		// exactly what the fused op did.
+		gp.SplitBackward = true
+		gp.Tb, gp.Tw = 1, 1
+	}
 	for _, o := range opts {
 		o(gp)
 	}
@@ -178,7 +189,7 @@ func (g *Generator) generate(fam family, arg, p, b int, opts ...Option) (*Schedu
 	if err := g.eng.run(gp, dev, chk, capTab); err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", ent.name, err)
 	}
-	lists := g.eng.insertComm(gp.Mapping, dev)
+	lists := g.eng.insertComm(gp, dev)
 	g.out = Schedule{
 		Scheme:  ent.name,
 		P:       gp.Mapping.P,
@@ -276,6 +287,18 @@ func buildShape(fam family, p, arg int) *shapeEntry {
 			steady := (m.S - s + 2*w - 1) / (2 * w)
 			return max(p+1, steady)
 		}
+	case famZBH1:
+		// Zero-bubble ZB-H1-like: straight placement and eager (input-grad)
+		// backwards like 1F1B, but each backward is split into B and W
+		// halves. The input-grad chain's round trip from stage s is
+		// 2·(S−1−s) hops of cost Tf+Tb = 2 against a steady-state device
+		// period of Tf+Tb+Tw = 3, so the live-activation budget tightens
+		// from 1F1B's P−s to ceil(2·(S−1−s)/3)+1 — the memory win the
+		// split buys (activations release at B; the W halves fill the
+		// bubbles without pinning anything).
+		ent.name, ent.mapping = "zbh1", StraightMapping(p)
+		ent.split = true
+		capAt = func(s, _ int) int { return (2*(p-1-s)+2)/3 + 1 }
 	case famInterleaved:
 		// Megatron-LM's interleaved 1F1B with v chunks per device (§2.2).
 		v := arg

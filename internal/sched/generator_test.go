@@ -10,7 +10,7 @@ import (
 // internal/sim/runner_test.go's allSchemes).
 var generatorSchemes = []string{
 	"gpipe", "dapple", "chimera", "chimera-wave",
-	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems",
+	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems", "zbh1",
 }
 
 // schedulesEqual compares two schedules bit-for-bit: headers, every action

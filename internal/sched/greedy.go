@@ -31,6 +31,22 @@ type GenParams struct {
 	// simulation (per-stage compute and per-hop transfer). Only ratios
 	// matter; executors re-time the result with real cost models.
 	Tf, Tb, Tc float64
+	// SplitBackward splits every backward into an input-gradient action
+	// (OpBackwardInput, duration Tb, the critical path: it feeds the
+	// upstream stage and releases the live activation) and a weight-gradient
+	// action (OpBackwardWeight, duration Tw, dependency-free: it only has to
+	// run before the flush) — the zero-bubble decomposition. The fused
+	// schemes leave this false and are byte-for-byte unaffected.
+	SplitBackward bool
+	// Tw is the weight-gradient duration when SplitBackward is set.
+	Tw float64
+	// EagerW gives every weight-gradient task top priority so it runs
+	// immediately after its own input-gradient on the same device, and
+	// defers the upstream gradient hand-off until the W completes — making
+	// the B+W pair behave exactly like one fused backward of duration
+	// Tb+Tw. This is the fused-equivalence mode the parity tests use to
+	// prove the split vocabulary degenerates to the classic schemes.
+	EagerW bool
 }
 
 // genEvent is one entry of the engine's typed event heap: "device dev may be
@@ -50,8 +66,10 @@ const wakeAll = int32(-1)
 // allocates nothing in steady state. The zero value is ready to use; an
 // engine is NOT safe for concurrent runs.
 //
-// Dense task ids: forwards occupy [0, B·S), backwards [B·S, 2·B·S); within
-// a half the id is micro·S + stage. The selection rule is a total order
+// Dense task ids: forwards occupy [0, B·S), backwards (fused, or the
+// input-gradient half under SplitBackward) [B·S, 2·B·S), and weight-gradient
+// tasks [2·B·S, 3·B·S) when the backward is split; within a segment the id
+// is micro·S + stage. The selection rule is a total order
 // (priority class, then micro, then stage), so results are scan-order
 // independent per device; cross-device order is fixed by ascending device
 // id at every time step, exactly as the predecessor engine scanned.
@@ -183,13 +201,11 @@ func (e *engine) pop() genEvent {
 }
 
 // enqueue marks a task ready at time at and files it under its device.
-// Every task has a single producer edge, so the min-merge branch is
-// defensive only. The caller pushes the matching wake event.
-func (e *engine) enqueue(micro, stage int, back bool, at float64) {
-	i := micro*e.s + stage
-	if back {
-		i += e.half
-	}
+// seg selects the id segment: 0 forward, 1 backward (fused or input-grad),
+// 2 weight-grad. Every task has a single producer edge, so the min-merge
+// branch is defensive only. The caller pushes the matching wake event.
+func (e *engine) enqueue(micro, stage, seg int, at float64) {
+	i := micro*e.s + stage + seg*e.half
 	if e.done[i] {
 		return
 	}
@@ -219,6 +235,9 @@ func (e *engine) eligible(i int, now float64) bool {
 		}
 		return true
 	}
+	if i >= 2*e.half { // weight-grad: ready means runnable (no cap, no barrier)
+		return true
+	}
 	if e.gp.PhaseBarrier && e.fwdLeft[e.devOf[i]] > 0 {
 		return false
 	}
@@ -246,6 +265,15 @@ func (e *engine) pick(d int, now float64) int {
 		cls := 0
 		if (i >= e.half) != (e.gp.Priority == BackwardFirst) {
 			cls = 1
+		}
+		if i >= 2*e.half {
+			// Weight-grads are pure bubble fillers: lowest class, so they
+			// yield to every forward and input-grad — unless EagerW pins
+			// them above everything to reconstruct the fused op.
+			cls = 2
+			if e.gp.EagerW {
+				cls = -1
+			}
 		}
 		micro, stage := (i%e.half)/e.s, i%e.s
 		if best == -1 || cls < bestClass ||
@@ -277,22 +305,37 @@ func (e *engine) finish(i int, end float64) {
 			if sd != d {
 				at += e.gp.Tc
 			}
-			e.enqueue(micro, stage+1, false, at)
+			e.enqueue(micro, stage+1, 0, at)
 			e.push(at, sd)
 		} else {
-			e.enqueue(micro, stage, true, end)
+			e.enqueue(micro, stage, 1, end)
 		}
 		e.push(end, d) // device free; barrier release is device-local
 		return
 	}
+	if i >= 2*e.half { // weight-grad: no successors, no budget to release
+		e.push(end, d)
+		return
+	}
 	e.inflight[stage*e.chunks+int(e.chunkAt(micro, stage))]--
+	if e.gp.SplitBackward {
+		// The weight-grad becomes ready the instant its input-grad
+		// completes, on the same device (same stage, same weights).
+		e.enqueue(micro, stage, 2, end)
+	}
 	if stage > 0 {
 		sd := e.devAt(micro, stage-1)
+		// Under EagerW the B+W pair emulates the fused op: the upstream
+		// gradient leaves only after the weight half, exactly when the
+		// fused backward of duration Tb+Tw would have released it.
 		at := end
+		if e.gp.SplitBackward && e.gp.EagerW {
+			at += e.gp.Tw
+		}
 		if sd != d {
 			at += e.gp.Tc
 		}
-		e.enqueue(micro, stage-1, true, at)
+		e.enqueue(micro, stage-1, 1, at)
 		e.push(at, sd)
 	}
 	// Device free, and the released live-activation budget may unblock
@@ -319,9 +362,14 @@ func (e *engine) runDevice(d int, now float64) bool {
 	}
 	dur := e.gp.Tf
 	kind := OpForward
-	if t >= e.half {
-		dur = e.gp.Tb
-		kind = OpBackward
+	switch {
+	case t >= 2*e.half:
+		dur, kind = e.gp.Tw, OpBackwardWeight
+	case t >= e.half:
+		dur, kind = e.gp.Tb, OpBackward
+		if e.gp.SplitBackward {
+			kind = OpBackwardInput
+		}
 	}
 	end := now + dur
 	e.free[d] = end
@@ -359,11 +407,17 @@ func (e *engine) run(gp *GenParams, dev, chk *[2][]int32, capTab []int32) error 
 	if gp.Tf <= 0 || gp.Tb <= 0 {
 		return fmt.Errorf("sched: Tf and Tb must be positive")
 	}
+	if gp.SplitBackward && gp.Tw <= 0 {
+		return fmt.Errorf("sched: Tw must be positive when the backward is split")
+	}
 	e.gp, e.dev, e.chk, e.capTab = gp, dev, chk, capTab
 	defer func() { e.gp, e.dev, e.chk, e.capTab = nil, nil, nil, nil }()
 	e.s, e.p, e.half = m.S, m.P, gp.B*m.S
 	e.chunks = m.ChunksPerDevice()
 	total := 2 * e.half
+	if gp.SplitBackward {
+		total = 3 * e.half
+	}
 
 	e.readyAt = arena(e.readyAt, total)
 	e.queued = arena(e.queued, total)
@@ -378,7 +432,7 @@ func (e *engine) run(gp *GenParams, dev, chk *[2][]int32, capTab []int32) error 
 	e.events = e.events[:0]
 
 	for mi := 0; mi < gp.B; mi++ {
-		e.enqueue(mi, 0, false, 0)
+		e.enqueue(mi, 0, 0, 0)
 		for s := 0; s < e.s; s++ {
 			e.fwdLeft[e.devAt(mi, s)]++
 		}
@@ -436,8 +490,14 @@ func (e *engine) run(gp *GenParams, dev, chk *[2][]int32, capTab []int32) error 
 // receives immediately before the consuming one; the executors treat
 // consecutive comm ops as one batched isend/irecv group (§4.2), which is
 // what makes the bidirectional exchanges of wave pipelines deadlock-free.
+// Under SplitBackward the input-grad half carries all of the backward's
+// communication (receiving the upstream gradient and forwarding its own as
+// soon as the input half is done — the send-early win of the split);
+// weight-grads move no tensors. EagerW instead re-attaches the gradient
+// send to the weight half, restoring the fused op's release point.
 // dev is the same dense device table run used (nil → mapping closures).
-func (e *engine) insertComm(m *Mapping, dev *[2][]int32) [][]Action {
+func (e *engine) insertComm(gp *GenParams, dev *[2][]int32) [][]Action {
+	m := gp.Mapping
 	devAt := func(micro, stage int) int {
 		if dev != nil {
 			return int(dev[micro&1][stage])
@@ -456,7 +516,7 @@ func (e *engine) insertComm(m *Mapping, dev *[2][]int32) [][]Action {
 						list = append(list, Action{Kind: OpRecvAct, Micro: a.Micro, Stage: a.Stage, Peer: src})
 					}
 				}
-			case OpBackward:
+			case OpBackward, OpBackwardInput:
 				if a.Stage < m.S-1 {
 					if src := devAt(a.Micro, a.Stage+1); src != d {
 						list = append(list, Action{Kind: OpRecvGrad, Micro: a.Micro, Stage: a.Stage, Peer: src})
@@ -465,14 +525,16 @@ func (e *engine) insertComm(m *Mapping, dev *[2][]int32) [][]Action {
 			}
 			list = append(list, a)
 			// Sends produced by this compute op.
-			switch a.Kind {
-			case OpForward:
+			sendGrad := a.Kind == OpBackward || (a.Kind == OpBackwardInput && !gp.EagerW) ||
+				(a.Kind == OpBackwardWeight && gp.EagerW)
+			switch {
+			case a.Kind == OpForward:
 				if a.Stage+1 < m.S {
 					if dst := devAt(a.Micro, a.Stage+1); dst != d {
 						list = append(list, Action{Kind: OpSendAct, Micro: a.Micro, Stage: a.Stage + 1, Peer: dst})
 					}
 				}
-			case OpBackward:
+			case sendGrad:
 				if a.Stage > 0 {
 					if dst := devAt(a.Micro, a.Stage-1); dst != d {
 						list = append(list, Action{Kind: OpSendGrad, Micro: a.Micro, Stage: a.Stage - 1, Peer: dst})

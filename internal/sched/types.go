@@ -25,6 +25,13 @@ const (
 	OpRecvGrad                // receive gradient of (micro, stage) from Peer
 	OpAllReduce               // data-parallel gradient all-reduce (flush)
 	OpOptimStep               // optimizer step after the flush
+	// Zero-bubble split backward (ZB-H1-like schemes): OpBackward stays the
+	// fused op every classic scheme uses; split schemes emit the pair below
+	// instead. The new kinds are appended after OpOptimStep so the numeric
+	// values of every pre-existing kind — and thus every serialized schedule
+	// and golden fixture — are unchanged.
+	OpBackwardInput  // input-gradient half: critical path, releases the activation
+	OpBackwardWeight // weight-gradient half: dependency-free bubble filler before the flush
 )
 
 // String names the op kind.
@@ -46,6 +53,10 @@ func (k OpKind) String() string {
 		return "AR"
 	case OpOptimStep:
 		return "OPT"
+	case OpBackwardInput:
+		return "BI"
+	case OpBackwardWeight:
+		return "BW"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -60,7 +71,16 @@ func (k OpKind) IsComm() bool {
 }
 
 // IsCompute reports whether the op occupies the device's compute resource.
-func (k OpKind) IsCompute() bool { return k == OpForward || k == OpBackward }
+func (k OpKind) IsCompute() bool {
+	return k == OpForward || k == OpBackward || k == OpBackwardInput || k == OpBackwardWeight
+}
+
+// IsBackward reports whether the op is a backward half (fused, input-grad
+// or weight-grad) — the set that marks the backward phase for zone
+// classification and phase barriers.
+func (k OpKind) IsBackward() bool {
+	return k == OpBackward || k == OpBackwardInput || k == OpBackwardWeight
+}
 
 // Action is one instruction of a worker's action list.
 type Action struct {

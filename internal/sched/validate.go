@@ -7,12 +7,19 @@ import "fmt"
 // (consecutive comm ops post together, as the executors do) and checks:
 //
 //  1. every (micro, stage) forward and backward appears exactly once, on
-//     the device and chunk the mapping dictates;
+//     the device and chunk the mapping dictates — for split-backward
+//     (zero-bubble) schedules, "backward" means the OpBackwardInput /
+//     OpBackwardWeight pair, each exactly once, and fused and split
+//     backward vocabularies never mix within one schedule;
 //  2. per-device order is consistent with the data dependencies
-//     F(m,s-1)→F(m,s), F(m,S-1)→B(m,S-1), B(m,s+1)→B(m,s);
+//     F(m,s-1)→F(m,s), F(m,S-1)→B(m,S-1), B(m,s+1)→B(m,s), and for split
+//     schedules B(m,s)→W(m,s) (a weight-grad never precedes its own
+//     input-grad);
 //  3. every cross-device dependency has exactly one matching send/recv
 //     pair, and the rendezvous pattern cannot deadlock;
-//  4. each list ends with AllReduce then OptimStep (flush completeness).
+//  4. each list ends with AllReduce then OptimStep (flush completeness),
+//     and no compute op — in particular no deferred weight-grad — appears
+//     after the flush barrier.
 //
 // A nil return means any executor can run the schedule to completion.
 //
@@ -94,23 +101,57 @@ func canonGradPayload(s *Schedule, micro, stage, src, dst int) int {
 	return s.B*s.S + micro*s.S + stage
 }
 
-// checkStatic is the structural pass: shape, ranges, mapping conformance
-// and exactly-once compute coverage.
+// splitSchedule reports whether s uses the split-backward (zero-bubble)
+// vocabulary. Schemes the generator knows are classified by family, so a
+// declared-fused scheme carrying split ops (or vice versa) is caught as a
+// mode mismatch; unknown (hand-built) schemes are classified by the ops
+// they actually contain.
+func splitSchedule(s *Schedule) bool {
+	if fam, _, ok := parseScheme(s.Scheme); ok {
+		return fam == famZBH1
+	}
+	for _, list := range s.Lists {
+		for _, a := range list {
+			if a.Kind == OpBackwardInput || a.Kind == OpBackwardWeight {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkStatic is the structural pass: shape, ranges, mapping conformance,
+// flush-barrier placement and exactly-once compute coverage.
 func (v *validator) checkStatic(s *Schedule) error {
 	m := s.Mapping
 	if len(s.Lists) != s.P {
 		return fmt.Errorf("sched: %d lists for %d devices", len(s.Lists), s.P)
 	}
-	v.seen = arena(v.seen, 2*s.B*s.S)
+	split := splitSchedule(s)
+	segs := 2
+	if split {
+		segs = 3 // forwards, input-grads, weight-grads
+	}
+	v.seen = arena(v.seen, segs*s.B*s.S)
 	for d, list := range s.Lists {
 		if len(list) < 2 ||
 			list[len(list)-2].Kind != OpAllReduce ||
 			list[len(list)-1].Kind != OpOptimStep {
 			return fmt.Errorf("sched: device %d list does not end with AllReduce, OptimStep", d)
 		}
+		flushed := false
 		for _, a := range list {
 			switch a.Kind {
-			case OpForward, OpBackward:
+			case OpForward, OpBackward, OpBackwardInput, OpBackwardWeight:
+				if flushed {
+					return fmt.Errorf("sched: device %d: compute op %v after the flush barrier", d, a)
+				}
+				if !split && (a.Kind == OpBackwardInput || a.Kind == OpBackwardWeight) {
+					return fmt.Errorf("sched: device %d: split-backward op %v in fused-backward scheme %q", d, a, s.Scheme)
+				}
+				if split && a.Kind == OpBackward {
+					return fmt.Errorf("sched: device %d: fused backward %v in split-backward scheme %q", d, a, s.Scheme)
+				}
 				if a.Micro < 0 || a.Micro >= s.B || a.Stage < 0 || a.Stage >= s.S {
 					return fmt.Errorf("sched: device %d: out-of-range %v", d, a)
 				}
@@ -121,8 +162,11 @@ func (v *validator) checkStatic(s *Schedule) error {
 					return fmt.Errorf("sched: device %d: %v has chunk %d, mapping says %d", d, a, a.Chunk, want)
 				}
 				id := a.Micro*s.S + a.Stage
-				if a.Kind == OpBackward {
+				switch a.Kind {
+				case OpBackward, OpBackwardInput:
 					id += s.B * s.S
+				case OpBackwardWeight:
+					id += 2 * s.B * s.S
 				}
 				v.seen[id]++
 			case OpSendAct, OpRecvAct, OpSendGrad, OpRecvGrad:
@@ -132,16 +176,27 @@ func (v *validator) checkStatic(s *Schedule) error {
 				if a.Micro < 0 || a.Micro >= s.B || a.Stage < 0 || a.Stage >= s.S {
 					return fmt.Errorf("sched: device %d: out-of-range %v", d, a)
 				}
+			case OpAllReduce:
+				flushed = true
 			}
 		}
 	}
 	for id, n := range v.seen {
 		if n != 1 {
 			half := s.B * s.S
-			back := id >= half
-			rest := id % half
-			return fmt.Errorf("sched: (micro=%d, stage=%d, back=%v) appears %d times",
-				rest/s.S, rest%s.S, back, n)
+			seg, rest := id/half, id%half
+			op := OpForward
+			switch seg {
+			case 1:
+				op = OpBackward
+				if split {
+					op = OpBackwardInput
+				}
+			case 2:
+				op = OpBackwardWeight
+			}
+			return fmt.Errorf("sched: (micro=%d, stage=%d, op=%v) appears %d times",
+				rest/s.S, rest%s.S, op, n)
 		}
 	}
 	return nil
@@ -179,7 +234,7 @@ func (v *validator) replay(s *Schedule) error {
 				}
 			}
 			v.computed[a.Micro*s.S+a.Stage] = true
-		case OpBackward:
+		case OpBackward, OpBackwardInput:
 			if !v.computed[a.Micro*s.S+a.Stage] {
 				return false, fmt.Errorf("sched: device %d runs %v before its forward", d, a)
 			}
@@ -193,6 +248,14 @@ func (v *validator) replay(s *Schedule) error {
 				}
 			}
 			v.computed[s.B*s.S+a.Micro*s.S+a.Stage] = true
+		case OpBackwardWeight:
+			// The weight-grad's only dependency is its own input-grad, which
+			// lives on the same device (same stage, same weights) — so a W
+			// reached before its B can never unblock: a hard order error,
+			// not a rendezvous stall.
+			if !v.computed[s.B*s.S+a.Micro*s.S+a.Stage] {
+				return false, fmt.Errorf("sched: device %d runs %v before its input-grad backward", d, a)
+			}
 		case OpSendAct:
 			v.send(payload{OpSendAct, a.Micro, a.Stage, d, a.Peer},
 				canonActPayload(s, a.Micro, a.Stage, d, a.Peer))

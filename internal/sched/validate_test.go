@@ -175,6 +175,86 @@ func TestDenseValidatorRejectPaths(t *testing.T) {
 	}
 }
 
+// TestSplitValidatorRejectPaths drives the zero-bubble vocabulary's
+// corruption classes through the same serialize/deserialize gauntlet: a
+// weight-grad hoisted before its own input-grad, a flush barrier sliding
+// in front of a deferred weight-grad, duplicated and missing weight-grad
+// halves, and both mode mismatches (fused backward inside a split scheme,
+// split op inside a fused scheme).
+func TestSplitValidatorRejectPaths(t *testing.T) {
+	base, err := ZBH1(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(base); err != nil {
+		t.Fatalf("pristine zbh1 schedule rejected: %v", err)
+	}
+	if err := roundTrip(t, base); err != nil {
+		t.Fatalf("pristine zbh1 schedule fails round-trip: %v", err)
+	}
+
+	t.Run("weight-grad before its input-grad", func(t *testing.T) {
+		mustReject(t, base, "before its input-grad backward", func(s *Schedule) {
+			// Hoist a weight-grad to its matching input-grad's slot; the
+			// input-grad stays put, so the only broken edge is B(m,s)→W(m,s).
+			for d, list := range s.Lists {
+				for j, w := range list {
+					if w.Kind != OpBackwardWeight {
+						continue
+					}
+					for i := 0; i < j; i++ {
+						bi := list[i]
+						if bi.Kind == OpBackwardInput && bi.Micro == w.Micro && bi.Stage == w.Stage {
+							copy(s.Lists[d][i+1:j+1], s.Lists[d][i:j])
+							s.Lists[d][i] = w
+							return
+						}
+					}
+				}
+			}
+			t.Fatal("no input-grad/weight-grad pair found to hoist")
+		})
+	})
+	t.Run("weight-grad after the flush barrier", func(t *testing.T) {
+		mustReject(t, base, "after the flush barrier", func(s *Schedule) {
+			// Slide a flush barrier in front of a deferred weight-grad: the
+			// optimizer would step on a gradient that is still incomplete.
+			d, i := findOp(s, OpBackwardWeight)
+			s.Lists[d] = append(s.Lists[d][:i:i],
+				append([]Action{{Kind: OpAllReduce}}, s.Lists[d][i:]...)...)
+		})
+	})
+	t.Run("duplicated weight-grad", func(t *testing.T) {
+		mustReject(t, base, "appears 2 times", func(s *Schedule) {
+			d, i := findOp(s, OpBackwardWeight)
+			a := s.Lists[d][i]
+			s.Lists[d] = append(s.Lists[d][:i:i], append([]Action{a}, s.Lists[d][i:]...)...)
+		})
+	})
+	t.Run("missing weight-grad", func(t *testing.T) {
+		mustReject(t, base, "appears 0 times", func(s *Schedule) {
+			d, i := findOp(s, OpBackwardWeight)
+			s.Lists[d] = append(s.Lists[d][:i:i], s.Lists[d][i+1:]...)
+		})
+	})
+	t.Run("fused backward in split scheme", func(t *testing.T) {
+		mustReject(t, base, "fused backward", func(s *Schedule) {
+			d, i := findOp(s, OpBackwardInput)
+			s.Lists[d][i].Kind = OpBackward
+		})
+	})
+	t.Run("split op in fused scheme", func(t *testing.T) {
+		fused, err := DAPPLE(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustReject(t, fused, "split-backward op", func(s *Schedule) {
+			d, i := findOp(s, OpBackward)
+			s.Lists[d][i].Kind = OpBackwardInput
+		})
+	})
+}
+
 // TestValidatorToleratesRedundantPairedTransfer preserves a subtle
 // semantic of the map-based validator: an extra transfer whose endpoints
 // do not match any mapping-implied pair is still legal as long as a

@@ -11,7 +11,7 @@ import (
 // Runner must replay interchangeably.
 var allSchemes = []string{
 	"gpipe", "dapple", "chimera", "chimera-wave",
-	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems",
+	"hanayo-w1", "hanayo-w2", "hanayo-w4", "interleaved-v2", "gems", "zbh1",
 }
 
 // resultsEqual compares two results field-for-field, bit-for-bit (no

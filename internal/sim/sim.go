@@ -23,6 +23,18 @@ type Cost interface {
 	CommTime(src, dst int) float64
 }
 
+// SplitCost is the optional Cost extension that prices the zero-bubble
+// split-backward halves (OpBackwardInput / OpBackwardWeight) separately.
+// Implementations must keep BackwardInputTime + BackwardWeightTime equal to
+// BackwardTime so a split schedule's total compute matches its fused twin.
+// Models without the extension fall back to an even split of BackwardTime
+// whose halves also sum exactly to the fused duration — either way, fused
+// schemes' makespans are provably unchanged by split support.
+type SplitCost interface {
+	BackwardInputTime(device, stage int) float64
+	BackwardWeightTime(device, stage int) float64
+}
+
 // Zone classifies idle time per the paper's Fig 7 taxonomy.
 type Zone int
 
@@ -159,8 +171,11 @@ var errFailed = errors.New("sim: device failed")
 type backend struct {
 	s    *sched.Schedule
 	cost Cost
-	opt  Options
-	res  *Result
+	// split is cost's SplitCost extension, resolved once per run (nil when
+	// the model doesn't implement it; the hot path then halves BackwardTime).
+	split SplitCost
+	opt   Options
+	res   *Result
 	// deadline, when positive, aborts the walk as soon as a device clock
 	// exceeds it (strictly: a run finishing exactly at the cap completes,
 	// so throughput ties with a pruning cutoff are never lost).
@@ -208,7 +223,7 @@ func (b *backend) classify(d, i int) Zone {
 				return ZoneB
 			}
 			return ZoneA
-		case sched.OpBackward:
+		case sched.OpBackward, sched.OpBackwardInput, sched.OpBackwardWeight:
 			sawBackward = true
 			// Keep scanning: a later forward means mid-pipeline (B),
 			// none means the tail (C).
@@ -268,11 +283,30 @@ func (b *backend) transferFor(d int, a sched.Action) *transfer {
 	return tr
 }
 
-func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
-	dur := b.cost.ForwardTime(d, a.Stage)
-	if a.Kind == sched.OpBackward {
-		dur = b.cost.BackwardTime(d, a.Stage)
+// opTime prices one compute op: forwards and fused backwards from the base
+// model, split halves from the SplitCost extension when present, otherwise
+// an even split whose halves sum exactly to the fused backward.
+func (b *backend) opTime(d int, a sched.Action) float64 {
+	switch a.Kind {
+	case sched.OpBackward:
+		return b.cost.BackwardTime(d, a.Stage)
+	case sched.OpBackwardInput:
+		if b.split != nil {
+			return b.split.BackwardInputTime(d, a.Stage)
+		}
+		return b.cost.BackwardTime(d, a.Stage) / 2
+	case sched.OpBackwardWeight:
+		if b.split != nil {
+			return b.split.BackwardWeightTime(d, a.Stage)
+		}
+		t := b.cost.BackwardTime(d, a.Stage)
+		return t - t/2
 	}
+	return b.cost.ForwardTime(d, a.Stage)
+}
+
+func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
+	dur := b.opTime(d, a)
 	start := b.time[d]
 	if b.faults != nil {
 		// An op starting at or after a SlowDown runs at the degraded
@@ -284,12 +318,16 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 	end := start + dur
 	b.res.Busy[d] += dur
 	b.time[d] = end
-	if a.Kind == sched.OpForward {
+	switch a.Kind {
+	case sched.OpForward:
 		b.liveActs[d]++
 		if b.liveActs[d] > b.res.PeakActs[d] {
 			b.res.PeakActs[d] = b.liveActs[d]
 		}
-	} else {
+	case sched.OpBackward, sched.OpBackwardInput:
+		// The activation is released by the input-gradient half (fused
+		// backwards contain it); the weight-grad half is byte-neutral — the
+		// source of the zero-bubble split's memory win.
 		b.liveActs[d]--
 	}
 	if b.faults != nil {
@@ -512,6 +550,7 @@ func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64
 	res.PeakActs = exec.Arena(res.PeakActs, p)
 	be := &r.be
 	be.s, be.cost, be.opt, be.res = s, cost, opt, res
+	be.split, _ = cost.(SplitCost)
 	be.deadline = deadline
 	be.faults = faults
 	if faults != nil && len(faults.Events) == 0 && faults.RestartCost == 0 {
@@ -561,11 +600,8 @@ func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64
 			for d := 0; d < p; d++ {
 				w := 0.0
 				for _, a := range s.Lists[d] {
-					switch a.Kind {
-					case sched.OpForward:
-						w += cost.ForwardTime(d, a.Stage)
-					case sched.OpBackward:
-						w += cost.BackwardTime(d, a.Stage)
+					if a.Kind.IsCompute() {
+						w += be.opTime(d, a)
 					}
 				}
 				if w > maxWork {
