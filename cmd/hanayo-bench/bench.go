@@ -224,6 +224,28 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}))
+	// Warm-started replanning after membership churn: Rerank on the
+	// shrunken cluster seeded from the stale ranking, top-3 exact. Every
+	// P·D stays ≤ 31 so the grid is valid before and after the leave.
+	add(measure("rerank_after_leave_topk3", func(b *testing.B) {
+		space := core.SearchSpace{
+			PD:        [][2]int{{4, 4}, {8, 2}, {16, 1}},
+			Waves:     []int{1, 2, 4},
+			B:         16,
+			MicroRows: 2,
+			Workers:   1,
+			TopK:      3,
+		}
+		prev := core.NewTuner(core.TunerOptions{}).AutoTune(cl, model, space)
+		left := cl.WithoutDevice(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tn := core.NewTuner(core.TunerOptions{})
+			if ranking, stats := tn.Rerank(prev, left, model, space); len(ranking) == 0 || stats.Seeded == 0 {
+				b.Fatal("rerank stopped seeding")
+			}
+		}
+	}))
 	add(measure("tuner_fig10_cached_repeat", func(b *testing.B) {
 		tn := core.NewTuner(core.TunerOptions{})
 		if cands := tn.AutoTune(cl, model, fig10SizedSpace(0, false)); len(cands) == 0 {

@@ -12,6 +12,8 @@
 //	hanayo-bench -exp fig10 -straggler 0:0.5      # search with device 0 at half speed
 //	hanayo-bench -exp fig10 -faultplan plan.json  # inject a fault plan into the sweep
 //	hanayo-bench -exp xtr02  # best scheme vs straggler severity table
+//	hanayo-bench -exp xtr03  # elastic churn: warm replanning vs cold re-sweep
+//	hanayo-bench -exp xtr03 -events churn.json  # replay a recorded event stream
 //	hanayo-bench -exp fig10 -repeat 20   # steady-state: rerun 20×
 //	hanayo-bench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //	hanayo-bench -json BENCH_3.json      # write the perf-tracking artifact
@@ -34,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -47,6 +50,7 @@ func main() {
 	scheme := flag.String("scheme", "", "fig10: sweep one extra scheme alongside the default set (e.g. zbh1)")
 	straggler := flag.String("straggler", "", "fig10: perturb the search cluster, dev:factor (e.g. 0:0.5 runs device 0 at half speed)")
 	faultplan := flag.String("faultplan", "", "fig10: inject a JSON fault plan file into the sweep (events: slowdown/linkdegrade/fail)")
+	events := flag.String("events", "", "xtr03: replay a JSON membership-event stream file (events: leave/join/speed/link) instead of the default churn")
 	repeat := flag.Int("repeat", 1, "run the selected experiments this many times (steady-state profiling); only the last run prints")
 	jsonOut := flag.String("json", "", "run the micro-benchmark suite and write machine-readable results to this file (e.g. BENCH_3.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -67,6 +71,17 @@ func main() {
 			fatal(err)
 		}
 		experiments.Faults = plan
+	}
+	if *events != "" {
+		data, err := os.ReadFile(*events)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := cluster.ParseEvents(data)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.Events = evs
 	}
 
 	if *list {

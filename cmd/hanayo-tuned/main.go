@@ -73,6 +73,7 @@ func main() {
 	prune := flag.Bool("prune", false, "memtrace-first OOM pruning")
 	topk := flag.Int("topk", 0, "bound-and-prune search keeping this many exact ranks per shard (0 = exhaustive)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines: 0 = one per CPU")
+	events := flag.String("events", "", "worker: apply a JSON membership-event stream file (leave/join/speed/link) to the preset cluster before sweeping")
 	out := flag.String("o", "", "worker output file (default stdout)")
 
 	merge := flag.Bool("merge", false, "merge worker shard files (in shard order) into the full ranking")
@@ -86,7 +87,8 @@ func main() {
 		err = runWorker(workerConfig{
 			shard: *shard, of: *of, remote: *remote, replicas: *replicas,
 			cluster: *clName, devices: *devices, model: *modelName,
-			b: *b, rows: *rows, prune: *prune, topk: *topk, workers: *workers, out: *out,
+			b: *b, rows: *rows, prune: *prune, topk: *topk, workers: *workers,
+			events: *events, out: *out,
 		})
 	case *merge:
 		err = runMerge(flag.Args(), os.Stdout)
@@ -180,6 +182,7 @@ type workerConfig struct {
 	b, rows, workers int
 	topk             int
 	prune            bool
+	events           string
 	out              string
 }
 
@@ -188,18 +191,23 @@ type workerConfig struct {
 // order, and the number of simulations the worker actually issued (0 when
 // the shared tier already held every key).
 type shardFile struct {
-	Shard       int             `json:"shard"`
-	Of          int             `json:"of"`
-	Cluster     string          `json:"cluster"`
-	Devices     int             `json:"devices"`
-	Model       string          `json:"model"`
-	B           int             `json:"b"`
-	MicroRows   int             `json:"micro_rows"`
-	Prune       bool            `json:"prune"`
-	TopK        int             `json:"topk,omitempty"`
-	Sims        int64           `json:"sims"`
-	BoundPruned int64           `json:"bound_pruned,omitempty"`
-	Candidates  []wireCandidate `json:"candidates"`
+	Shard       int    `json:"shard"`
+	Of          int    `json:"of"`
+	Cluster     string `json:"cluster"`
+	Devices     int    `json:"devices"`
+	Model       string `json:"model"`
+	B           int    `json:"b"`
+	MicroRows   int    `json:"micro_rows"`
+	Prune       bool   `json:"prune"`
+	TopK        int    `json:"topk,omitempty"`
+	Events      int    `json:"events,omitempty"`
+	Sims        int64  `json:"sims"`
+	BoundPruned int64  `json:"bound_pruned,omitempty"`
+	// CacheNodes reports the shared tier's per-node health as the worker
+	// saw it: hard errors and probe-gate skips (cachewire.NodeErrors), so
+	// a degraded fleet is visible in the artifact, not just on stderr.
+	CacheNodes []cachewire.NodeErrors `json:"cache_nodes,omitempty"`
+	Candidates []wireCandidate        `json:"candidates"`
 }
 
 // wireCandidate is the JSON form of one core.Candidate. Floats survive
@@ -268,6 +276,28 @@ func runWorker(cfg workerConfig) error {
 	if err != nil {
 		return err
 	}
+	nEvents := 0
+	if cfg.events != "" {
+		raw, err := os.ReadFile(cfg.events)
+		if err != nil {
+			return err
+		}
+		evs, err := cluster.ParseEvents(raw)
+		if err != nil {
+			return err
+		}
+		// Fold the stream: the sweep ranks the final membership state. All
+		// shards must be given the same stream or -merge's coherence check
+		// will (rightly) reject the mixed partition.
+		states, err := cluster.ApplyEvents(cl, evs)
+		if err != nil {
+			return err
+		}
+		if len(states) > 0 {
+			cl = states[len(states)-1]
+		}
+		nEvents = len(evs)
+	}
 	model, err := modelByName(cfg.model)
 	if err != nil {
 		return err
@@ -312,7 +342,11 @@ func runWorker(cfg workerConfig) error {
 		Shard: cfg.shard, Of: cfg.of,
 		Cluster: cfg.cluster, Devices: cfg.devices, Model: cfg.model,
 		B: cfg.b, MicroRows: cfg.rows, Prune: cfg.prune, TopK: cfg.topk,
-		Sims: sims, BoundPruned: boundPruned, Candidates: toWire(cands),
+		Events: nEvents, Sims: sims, BoundPruned: boundPruned,
+		Candidates: toWire(cands),
+	}
+	if ring != nil {
+		file.CacheNodes = ring.Errors()
 	}
 	w := os.Stdout
 	if cfg.out != "" {
@@ -331,11 +365,10 @@ func runWorker(cfg workerConfig) error {
 	fmt.Fprintf(os.Stderr, "hanayo-tuned: shard %d/%d on %s×%d: %d candidates, %d simulations, %d bound-pruned, %v (remote errors: %d)\n",
 		cfg.shard, cfg.of, cfg.cluster, cfg.devices, len(cands), sims, boundPruned,
 		time.Since(start).Round(time.Millisecond), tuner.RemoteErrors())
-	if ring != nil {
-		for _, ne := range ring.Errors() {
-			if ne.Errors > 0 {
-				fmt.Fprintf(os.Stderr, "hanayo-tuned: cache node %s degraded: %d errors\n", ne.Name, ne.Errors)
-			}
+	for _, ne := range file.CacheNodes {
+		if ne.Errors > 0 || ne.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "hanayo-tuned: cache node %s degraded: %d errors, %d skipped\n",
+				ne.Name, ne.Errors, ne.Skipped)
 		}
 	}
 	return nil

@@ -314,6 +314,59 @@ var (
 	SpeedBalancedShares = costmodel.SpeedBalancedShares
 )
 
+// Elasticity: typed membership events over immutable clusters, the
+// warm-started incremental re-ranking they trigger (Tuner.Rerank), and
+// the drain-and-replan training loop that applies the result live. See
+// docs/ARCHITECTURE.md ("Elasticity") and internal/experiments/ELASTIC.md.
+type (
+	// ClusterEvent is one typed membership/perturbation event (device
+	// leave/join, speed change, link change); Cluster.Apply folds it
+	// into a new cluster without mutating the old one.
+	ClusterEvent = cluster.Event
+	// ClusterEventKind discriminates ClusterEvent (JSON round-trippable).
+	ClusterEventKind = cluster.EventKind
+	// RerankStats reports a warm-started Tuner.Rerank's work — seeded
+	// rows, seed/sweep simulations, bound-pruned cells — next to a
+	// ranking that is bit-for-bit the cold AutoTune ranking.
+	RerankStats = core.RerankStats
+	// ElasticSession is the drain-and-replan training loop: Step trains
+	// one batch, Notify queues membership events applied at the next
+	// iteration boundary, and a mid-step device failure aborts the step,
+	// shrinks the cluster, replans and retries the same batch with
+	// bit-exact parameters.
+	ElasticSession = core.ElasticSession
+	// ElasticOptions configures NewElasticSession.
+	ElasticOptions = core.ElasticOptions
+	// ReplanReport records one replan: the triggering event, old and new
+	// plans, RerankStats and wall-clock latency.
+	ReplanReport = core.ReplanReport
+	// EngineDeviceError identifies the device and micro-batch of a
+	// runtime device failure (errors.As target; wraps ErrDeviceFailed).
+	EngineDeviceError = runtime.DeviceError
+)
+
+// Membership event kinds (ClusterEvent.Kind).
+const (
+	DeviceLeave = cluster.DeviceLeave
+	DeviceJoin  = cluster.DeviceJoin
+	SpeedChange = cluster.SpeedChange
+	LinkChange  = cluster.LinkChange
+)
+
+var (
+	// ParseClusterEvents reads the -events JSON stream format of
+	// cmd/hanayo-bench and cmd/hanayo-tuned.
+	ParseClusterEvents = cluster.ParseEvents
+	// ApplyClusterEvents folds an event stream over a cluster, returning
+	// every intermediate state.
+	ApplyClusterEvents = cluster.ApplyEvents
+	// NewElasticSession starts the elastic training loop on the best
+	// feasible plan of an initial ranking over the given space.
+	NewElasticSession = core.NewElasticSession
+	// ErrDeviceFailed is the sentinel every runtime device failure wraps.
+	ErrDeviceFailed = runtime.ErrDeviceFailed
+)
+
 // NewGenerator builds a synthetic workload generator.
 var NewGenerator = data.NewGenerator
 

@@ -61,9 +61,9 @@ type RingNode struct {
 // tail of Skipped; Errors alone rising means the node is reachable but
 // misbehaving.
 type NodeErrors struct {
-	Name    string
-	Errors  int64
-	Skipped int64
+	Name    string `json:"name"`
+	Errors  int64  `json:"errors"`
+	Skipped int64  `json:"skipped"`
 }
 
 type ringMember struct {

@@ -382,32 +382,44 @@ func ByName(name string, n int) (*Cluster, error) {
 // Names lists the preset cluster names in the paper's order.
 func Names() []string { return []string{"pc", "fc", "tacc", "tc"} }
 
-// ApplyStraggler perturbs c according to a "dev:factor" spec — the CLI
-// form of WithStraggler (e.g. "0:0.5" runs device 0 at half speed). An
-// empty spec returns c unchanged; malformed specs and out-of-range
-// devices or factors return errors rather than panicking, since specs
-// arrive from flags.
+// ApplyStraggler perturbs c according to a comma-separated "dev:factor"
+// spec — the CLI form of WithStraggler (e.g. "0:0.5" runs device 0 at
+// half speed; "0:0.5,3:0.8" slows two devices). An empty spec returns c
+// unchanged; malformed specs and out-of-range devices or factors return
+// errors rather than panicking, since specs arrive from flags. A device
+// listed twice is an error naming the device, not a silent last-wins:
+// "0:0.5,0:0.8" almost certainly meant two different devices, and because
+// WithStraggler factors compose multiplicatively, accepting it would
+// quietly apply neither of the two factors the operator wrote.
 func ApplyStraggler(c *Cluster, spec string) (*Cluster, error) {
 	if spec == "" {
 		return c, nil
 	}
-	devStr, facStr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("cluster: straggler spec %q: want dev:factor", spec)
+	seen := make(map[int]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		devStr, facStr, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: straggler spec %q: want dev:factor", entry)
+		}
+		dev, err := strconv.Atoi(devStr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: straggler spec %q: bad device: %w", entry, err)
+		}
+		factor, err := strconv.ParseFloat(facStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: straggler spec %q: bad factor: %w", entry, err)
+		}
+		if dev < 0 || dev >= len(c.Devices) {
+			return nil, fmt.Errorf("cluster: straggler device %d out of range [0,%d)", dev, len(c.Devices))
+		}
+		if !(factor > 0) || math.IsInf(factor, 0) {
+			return nil, fmt.Errorf("cluster: straggler factor must be a positive finite number, got %g", factor)
+		}
+		if seen[dev] {
+			return nil, fmt.Errorf("cluster: straggler spec lists device %d twice", dev)
+		}
+		seen[dev] = true
+		c = c.WithStraggler(dev, factor)
 	}
-	dev, err := strconv.Atoi(devStr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: straggler spec %q: bad device: %w", spec, err)
-	}
-	factor, err := strconv.ParseFloat(facStr, 64)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: straggler spec %q: bad factor: %w", spec, err)
-	}
-	if dev < 0 || dev >= len(c.Devices) {
-		return nil, fmt.Errorf("cluster: straggler device %d out of range [0,%d)", dev, len(c.Devices))
-	}
-	if !(factor > 0) || math.IsInf(factor, 0) {
-		return nil, fmt.Errorf("cluster: straggler factor must be a positive finite number, got %g", factor)
-	}
-	return c.WithStraggler(dev, factor), nil
+	return c, nil
 }

@@ -1,0 +1,364 @@
+package cluster
+
+// Membership churn: a Cluster is immutable, so elasticity is modeled as
+// typed events that each derive a fresh cluster from the previous one —
+// copy-on-write, exactly like the With* perturbation constructors. An
+// event stream folded over a starting cluster therefore produces a
+// deterministic sequence of cluster states, and because every derivation
+// rebuilds (or renames) the layers it touches, each state gets its own
+// Fingerprint and the tuning cache can never confuse two points of the
+// sequence.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// EventKind discriminates membership Event variants.
+type EventKind int
+
+// Membership event kinds.
+const (
+	// DeviceLeave removes device Dev (failure, preemption, drain).
+	DeviceLeave EventKind = iota
+	// DeviceJoin adds one device cloned from template device Dev — same
+	// GPU spec, same node, attached with Dev's link row (see
+	// WithDeviceLike). Models a replacement arriving beside an existing
+	// device.
+	DeviceJoin
+	// SpeedChange multiplies device Dev's relative speed by Factor.
+	// Unlike sim fault factors, Factor may exceed 1: a throttled device
+	// recovering is as much churn as one slowing down. The bound-and-prune
+	// sweep stays sound either way because cluster-level speeds are static
+	// inputs the analytic lower bound sees exactly.
+	SpeedChange
+	// LinkChange multiplies the Dev↔Peer link rate by Factor (both
+	// directions).
+	LinkChange
+)
+
+var eventKindNames = map[EventKind]string{
+	DeviceLeave: "leave",
+	DeviceJoin:  "join",
+	SpeedChange: "speed",
+	LinkChange:  "link",
+}
+
+// String names the kind ("leave", "join", "speed", "link").
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name, the -events file
+// format.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	s, ok := eventKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown event kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a string kind name.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kind, name := range eventKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown event kind %q", s)
+}
+
+// Event is one membership change. Events carry no timestamps: each is a
+// discrete membership step, and the consumer (a training session, an
+// experiment scenario) decides which iteration barrier absorbs it.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Dev is the affected device; for DeviceJoin, the template device the
+	// newcomer is cloned from.
+	Dev int `json:"dev"`
+	// Peer is the other endpoint of a LinkChange (ignored otherwise).
+	Peer int `json:"peer,omitempty"`
+	// Factor is the rate multiplier of SpeedChange/LinkChange (positive,
+	// finite; ignored otherwise).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// String renders the event for logs and tables, e.g. "leave dev2" or
+// "speed dev0 ×0.5".
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkChange:
+		return fmt.Sprintf("link dev%d-dev%d ×%g", e.Dev, e.Peer, e.Factor)
+	case SpeedChange:
+		return fmt.Sprintf("speed dev%d ×%g", e.Dev, e.Factor)
+	default:
+		return fmt.Sprintf("%s dev%d", e.Kind, e.Dev)
+	}
+}
+
+// validateShape checks the device-count-independent shape of e — the part
+// ParseEvents can verify before any cluster exists. Apply re-checks
+// device indices against the live cluster.
+func (e Event) validateShape() error {
+	if e.Dev < 0 {
+		return fmt.Errorf("device %d must be non-negative", e.Dev)
+	}
+	switch e.Kind {
+	case DeviceLeave, DeviceJoin:
+		// Dev alone.
+	case SpeedChange, LinkChange:
+		if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+			return fmt.Errorf("factor must be a positive finite number, got %g", e.Factor)
+		}
+		if e.Kind == LinkChange {
+			if e.Peer < 0 || e.Peer == e.Dev {
+				return fmt.Errorf("link (%d,%d) endpoints must be distinct and non-negative", e.Dev, e.Peer)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Apply derives the cluster state after one membership event. The
+// receiver is never modified. Unlike the With* constructors — programmer
+// API, panics on misuse — events arrive from files and injected failures,
+// so out-of-range devices and bad factors are errors.
+func (c *Cluster) Apply(ev Event) (*Cluster, error) {
+	if err := ev.validateShape(); err != nil {
+		return nil, fmt.Errorf("cluster: event %s: %w", ev, err)
+	}
+	n := len(c.Devices)
+	switch ev.Kind {
+	case DeviceLeave:
+		if ev.Dev >= n {
+			return nil, fmt.Errorf("cluster: event %s: device out of range [0,%d)", ev, n)
+		}
+		if n == 1 {
+			return nil, fmt.Errorf("cluster: event %s: cannot remove the last device", ev)
+		}
+		return c.WithoutDevice(ev.Dev), nil
+	case DeviceJoin:
+		if ev.Dev >= n {
+			return nil, fmt.Errorf("cluster: event %s: template device out of range [0,%d)", ev, n)
+		}
+		if n == 1 {
+			return nil, fmt.Errorf("cluster: event %s: a single-device cluster has no peer links to clone", ev)
+		}
+		return c.WithDeviceLike(ev.Dev), nil
+	case SpeedChange:
+		if ev.Dev >= n {
+			return nil, fmt.Errorf("cluster: event %s: device out of range [0,%d)", ev, n)
+		}
+		return c.WithStraggler(ev.Dev, ev.Factor), nil
+	default: // LinkChange; validateShape rejected unknown kinds
+		if ev.Dev >= n || ev.Peer >= n {
+			return nil, fmt.Errorf("cluster: event %s: link endpoint out of range [0,%d)", ev, n)
+		}
+		return c.WithLinkDegrade(ev.Dev, ev.Peer, ev.Factor), nil
+	}
+}
+
+// ApplyEvents folds an event stream over c and returns the sequence of
+// derived states, one per event (the input cluster is not included). An
+// error names the offending event and leaves no partial result.
+func ApplyEvents(c *Cluster, evs []Event) ([]*Cluster, error) {
+	out := make([]*Cluster, 0, len(evs))
+	cur := c
+	for i, ev := range evs {
+		next, err := cur.Apply(ev)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}
+
+// WithoutDevice returns a copy of the cluster with device dev removed.
+// Unlike the speed/link perturbations, removal shifts every index above
+// dev, so the O(N²) matrices are rebuilt rather than shared — clone()'s
+// read-only aliasing would be wrong here. The copy's name records the
+// removal, and the fresh matrices plus device list fold into Fingerprint,
+// so the derived cluster can never alias the original in a cache.
+func (c *Cluster) WithoutDevice(dev int) *Cluster {
+	nd := len(c.Devices)
+	if dev < 0 || dev >= nd {
+		panic(fmt.Sprintf("cluster: WithoutDevice device %d out of range [0,%d)", dev, nd))
+	}
+	if nd == 1 {
+		panic("cluster: WithoutDevice would leave an empty cluster")
+	}
+	n := &Cluster{Name: fmt.Sprintf("%s-dev%d", c.Name, dev)}
+	n.Devices = make([]GPU, 0, nd-1)
+	for i, g := range c.Devices {
+		if i != dev {
+			n.Devices = append(n.Devices, g)
+		}
+	}
+	keep := make([]int, 0, nd-1) // old index of each surviving row
+	for i := 0; i < nd; i++ {
+		if i != dev {
+			keep = append(keep, i)
+		}
+	}
+	m := nd - 1
+	n.bwGBs = make([][]float64, m)
+	n.latS = make([][]float64, m)
+	hasLinkf := c.linkf != nil
+	if hasLinkf {
+		n.linkf = make([][]float64, m)
+	}
+	for r := 0; r < m; r++ {
+		n.bwGBs[r] = make([]float64, m)
+		n.latS[r] = make([]float64, m)
+		if hasLinkf {
+			n.linkf[r] = make([]float64, m)
+		}
+		for col := 0; col < m; col++ {
+			or, oc := keep[r], keep[col]
+			n.bwGBs[r][col] = c.bwGBs[or][oc]
+			n.latS[r][col] = c.latS[or][oc]
+			if hasLinkf {
+				n.linkf[r][col] = c.linkf[or][oc]
+			}
+		}
+	}
+	return n
+}
+
+// WithDevice returns a copy of the cluster with device g appended at
+// index N. bw and lat give the new device's link to each existing device
+// (length N; bandwidths positive, latencies non-negative); the self-link
+// is zero like every diagonal. Any link-degradation layer carries over
+// with the new device's links healthy.
+func (c *Cluster) WithDevice(g GPU, bw, lat []float64) *Cluster {
+	nd := len(c.Devices)
+	if len(bw) != nd || len(lat) != nd {
+		panic(fmt.Sprintf("cluster: WithDevice wants %d link entries, got bw=%d lat=%d", nd, len(bw), len(lat)))
+	}
+	for i := 0; i < nd; i++ {
+		if !(bw[i] > 0) || lat[i] < 0 || math.IsInf(bw[i], 0) || math.IsNaN(lat[i]) || math.IsInf(lat[i], 0) {
+			panic(fmt.Sprintf("cluster: WithDevice link %d invalid (bw=%g GB/s, lat=%g s)", i, bw[i], lat[i]))
+		}
+	}
+	m := nd + 1
+	n := &Cluster{Name: fmt.Sprintf("%s+join%d", c.Name, nd)}
+	n.Devices = append(append(make([]GPU, 0, m), c.Devices...), g)
+	n.bwGBs = make([][]float64, m)
+	n.latS = make([][]float64, m)
+	hasLinkf := c.linkf != nil
+	if hasLinkf {
+		n.linkf = make([][]float64, m)
+	}
+	for r := 0; r < m; r++ {
+		n.bwGBs[r] = make([]float64, m)
+		n.latS[r] = make([]float64, m)
+		if hasLinkf {
+			n.linkf[r] = make([]float64, m)
+			n.linkf[r][nd] = 1.0
+		}
+		for col := 0; col < m; col++ {
+			switch {
+			case r < nd && col < nd:
+				n.bwGBs[r][col] = c.bwGBs[r][col]
+				n.latS[r][col] = c.latS[r][col]
+				if hasLinkf {
+					n.linkf[r][col] = c.linkf[r][col]
+				}
+			case r == col:
+				// Diagonal stays zero.
+			case r == nd:
+				n.bwGBs[r][col] = bw[col]
+				n.latS[r][col] = lat[col]
+			default: // col == nd
+				n.bwGBs[r][col] = bw[r]
+				n.latS[r][col] = lat[r]
+			}
+		}
+	}
+	if hasLinkf {
+		n.linkf[nd][nd] = 1.0
+	}
+	return n
+}
+
+// WithDeviceLike returns a copy of the cluster with a new device cloned
+// from device like: same GPU spec (with any accumulated Speed factor
+// reset to baseline — a replacement arrives healthy), same node and
+// socket, and like's raw link row to every other device. The link between
+// the newcomer and its template — which like's own row cannot provide —
+// is copied from like's strongest peer link (highest raw bandwidth,
+// lowest index on ties): the newcomer is modeled as placed beside its
+// template, sharing the template's best interconnect.
+func (c *Cluster) WithDeviceLike(like int) *Cluster {
+	nd := len(c.Devices)
+	if like < 0 || like >= nd {
+		panic(fmt.Sprintf("cluster: WithDeviceLike device %d out of range [0,%d)", like, nd))
+	}
+	if nd == 1 {
+		panic("cluster: WithDeviceLike needs an existing peer link to clone")
+	}
+	g := c.Devices[like]
+	g.Speed = 0 // baseline
+	bw := make([]float64, nd)
+	lat := make([]float64, nd)
+	best := -1
+	for j := 0; j < nd; j++ {
+		if j == like {
+			continue
+		}
+		bw[j] = c.bwGBs[like][j]
+		lat[j] = c.latS[like][j]
+		if best < 0 || c.bwGBs[like][j] > c.bwGBs[like][best] {
+			best = j
+		}
+	}
+	bw[like] = c.bwGBs[like][best]
+	lat[like] = c.latS[like][best]
+	return c.WithDevice(g, bw, lat)
+}
+
+// eventStream is the -events JSON file format.
+type eventStream struct {
+	Events []Event `json:"events"`
+}
+
+// ParseEvents decodes the -events JSON file format:
+//
+//	{"events": [{"kind": "leave", "dev": 2},
+//	            {"kind": "join", "dev": 0},
+//	            {"kind": "speed", "dev": 0, "factor": 0.5},
+//	            {"kind": "link", "dev": 0, "peer": 1, "factor": 0.25}]}
+//
+// Unknown fields are rejected so a typo degrades loudly. Each event's
+// shape is validated here (factors positive and finite, endpoints
+// distinct); device ranges depend on the fold state and are checked by
+// Apply against the live cluster.
+func ParseEvents(data []byte) ([]Event, error) {
+	var s eventStream
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("cluster: events: %w", err)
+	}
+	for i, ev := range s.Events {
+		if err := ev.validateShape(); err != nil {
+			return nil, fmt.Errorf("cluster: events: event %d (%s): %w", i, ev, err)
+		}
+	}
+	return s.Events, nil
+}

@@ -165,6 +165,26 @@ func (r *Router) Reset() error {
 	return nil
 }
 
+// Discard drops all mailboxes including any undelivered payloads and
+// reports how many it threw away. This is the teardown path after an
+// aborted iteration — peers were canceled mid-schedule, so in-flight
+// messages are expected, unlike Reset, which treats them as schedule
+// bugs. The router is immediately reusable.
+func (r *Router) Discard() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ch := range r.boxes {
+		select {
+		case <-ch:
+			n++
+		default:
+		}
+	}
+	r.boxes = map[Tag]chan *tensor.Tensor{}
+	return n
+}
+
 // Close marks the router unusable; subsequent use panics. It helps catch
 // worker leaks in tests.
 func (r *Router) Close() {

@@ -162,3 +162,21 @@ func TestConcurrentManyWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDiscardDropsInFlight(t *testing.T) {
+	r := NewRouter()
+	r.Send(Tag{Kind: "act", Micro: 0, Stage: 1, Src: 0, Dst: 1}, tensor.Ones(2, 2))
+	r.Send(Tag{Kind: "grad", Micro: 1, Stage: 1, Src: 1, Dst: 0}, tensor.Ones(2, 2))
+	if n := r.Discard(); n != 2 {
+		t.Fatalf("Discard dropped %d payloads, want 2", n)
+	}
+	if err := r.Reset(); err != nil {
+		t.Fatalf("router not clean after Discard: %v", err)
+	}
+	// Tags are reusable immediately — the aborted iteration's sends are gone.
+	tag := Tag{Kind: "act", Micro: 0, Stage: 1, Src: 0, Dst: 1}
+	r.Send(tag, tensor.Ones(2, 2))
+	if _, ok := r.TryRecv(tag); !ok {
+		t.Fatal("router unusable after Discard")
+	}
+}

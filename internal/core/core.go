@@ -522,10 +522,17 @@ type Candidate struct {
 
 // SearchSpace bounds the AutoTune sweep.
 type SearchSpace struct {
-	Schemes   []string // nil → GPipe, DAPPLE, Chimera-wave (Hanayo is always swept)
-	PD        [][2]int // (P, D) combinations; nil → power-of-two divisor pairs of N
-	Waves     []int    // wave counts tried for Hanayo; nil → 1,2,4,8
-	B         int      // micro-batches per replica
+	Schemes []string // nil → GPipe, DAPPLE, Chimera-wave (Hanayo is always swept)
+	// PD lists the (P, D) combinations; nil → power-of-two divisor pairs
+	// of N. Evaluations are shared per (scheme, P, B) key — the
+	// per-replica makespan is D-independent — so a grid listing the same
+	// P under several D values must keep them equally valid (all with
+	// P·D ≤ N, or none): mixing a feasible and an infeasible D for one P
+	// lets whichever cell reaches the key first decide both verdicts,
+	// which is order- and worker-count-dependent.
+	PD        [][2]int
+	Waves     []int // wave counts tried for Hanayo; nil → 1,2,4,8
+	B         int   // micro-batches per replica
 	MicroRows int
 	// Workers bounds the candidate-measurement worker pool: 0 → one per
 	// CPU (runtime.NumCPU()), 1 → serial. Any setting returns the
@@ -608,6 +615,36 @@ func (s SearchSpace) Shard(i, n int) SearchSpace {
 
 // DefaultSchemes returns the baseline set of §5.
 func DefaultSchemes() []string { return []string{"gpipe", "dapple", "chimera-wave"} }
+
+// withDefaults fills the nil-field defaults every sweep applies — the
+// baseline schemes, the 1/2/4/8 wave ladder, power-of-two (P, D) divisor
+// pairs of the cluster size, B=8 and MicroRows=1. sweepGrid normalizes
+// through this, and Rerank normalizes with the identical call before
+// matching previous candidates to grid rows, so the seeds always name
+// cells of the grid actually swept.
+func (s SearchSpace) withDefaults(cl *cluster.Cluster) SearchSpace {
+	if s.Schemes == nil {
+		s.Schemes = DefaultSchemes()
+	}
+	if s.Waves == nil {
+		s.Waves = []int{1, 2, 4, 8}
+	}
+	if s.PD == nil {
+		n := cl.N()
+		for p := 2; p <= n; p *= 2 {
+			if n%p == 0 {
+				s.PD = append(s.PD, [2]int{p, n / p})
+			}
+		}
+	}
+	if s.B == 0 {
+		s.B = 8
+	}
+	if s.MicroRows == 0 {
+		s.MicroRows = 1
+	}
+	return s
+}
 
 // evaluator bundles the reusable executors one sweep worker drives: a
 // sched.Generator for schedule compilation, a sim.Runner for timed
@@ -825,8 +862,9 @@ func evalKeyBounded(plan Plan, own *evaluator, prune bool, t *Tuner, gk tunerKey
 // therefore exact, and worker races can only lower the cutoff a reader
 // observes — over-evaluation, never mis-ranking.
 type cutoffState struct {
-	k    int
-	bits atomic.Uint64 // Float64bits of the cutoff (0 until k rows score)
+	k      int
+	bits   atomic.Uint64 // Float64bits of the cutoff (0 until k rows score)
+	pruned atomic.Int64  // cells eliminated by the cutoff (skips + aborts)
 
 	mu      sync.Mutex
 	vals    []float64 // per output-row best fully evaluated value
@@ -896,7 +934,7 @@ func AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candida
 // the serving Tuner when evaluations should pull pooled evaluators and
 // consult the cross-sweep cache.
 func sweep(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []Candidate {
-	out := sweepGrid(cl, model, space, t)
+	out := sweepGrid(cl, model, space, t, nil)
 	sortCandidates(out)
 	return out
 }
@@ -914,27 +952,11 @@ func sortCandidates(cands []Candidate) {
 // sweepGrid measures the (sharded slice of the) candidate grid and
 // returns its candidates in grid order — (P, D) major, schemes then the
 // wave-group winner within each — without the final ranking sort.
-func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner) []Candidate {
-	if space.Schemes == nil {
-		space.Schemes = DefaultSchemes()
-	}
-	if space.Waves == nil {
-		space.Waves = []int{1, 2, 4, 8}
-	}
-	if space.PD == nil {
-		n := cl.N()
-		for p := 2; p <= n; p *= 2 {
-			if n%p == 0 {
-				space.PD = append(space.PD, [2]int{p, n / p})
-			}
-		}
-	}
-	if space.B == 0 {
-		space.B = 8
-	}
-	if space.MicroRows == 0 {
-		space.MicroRows = 1
-	}
+// warm (nil everywhere except Rerank) pre-loads the branch-and-bound
+// cutoff with exact row values measured on this cluster before any
+// worker starts, and receives the sweep's cell/prune statistics.
+func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner, warm *warmStart) []Candidate {
+	space = space.withDefaults(cl)
 	workers := space.Workers
 	if workers <= 0 {
 		workers = goruntime.NumCPU()
@@ -1049,6 +1071,30 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 	feed := make(chan int, len(tasks))
 	if space.TopK > 0 {
 		cut = newCutoffState(space.TopK, slots)
+		if warm != nil {
+			// Seed the cutoff before any worker runs: each seed is the exact
+			// full evaluation of one cell of this grid (same B, MicroRows,
+			// Faults, Prune) measured on this cluster, so observing it keeps
+			// every slot exact-or-below its row's true final value — the
+			// invariant the cutoff's soundness proof rests on. The sweep
+			// starts with the cutoff already at the Kth-best seeded value
+			// instead of discovering it cell by cell. The seed's complete
+			// evaluation is pre-published into the sweep's result memo so
+			// evalBounded serves the seeded cell exact from peekFull — a
+			// seeded cell must never be re-judged against a cutoff that its
+			// own value produced (see warmSeed).
+			for _, sd := range warm.seeds {
+				for j := range tasks {
+					tk := &tasks[j]
+					if tk.plan.P == sd.p && tk.plan.D == sd.d && tk.wave == sd.wave &&
+						(sd.wave || tk.plan.Scheme == sd.scheme) {
+						cache.publishFull(schedKey{sd.scheme, sd.p, space.B}, sd.es, nil)
+						cut.observe(tk.slot, sd.thr)
+						break
+					}
+				}
+			}
+		}
 		order := make([]int, len(tasks))
 		for i := range order {
 			order[i] = i
@@ -1091,6 +1137,13 @@ func sweepGrid(cl *cluster.Cluster, model nn.Config, space SearchSpace, t *Tuner
 	wg.Wait()
 	if sr != nil {
 		sr.flush()
+	}
+	if warm != nil && warm.stats != nil {
+		warm.stats.Cells = len(tasks)
+		warm.stats.Rows = slots
+		if cut != nil {
+			warm.stats.Pruned = cut.pruned.Load()
+		}
 	}
 
 	// Reduce in grid order, exactly as the serial sweep: per (P, D) the
@@ -1167,6 +1220,7 @@ func evalBounded(tk *sweepTask, cache *sweepCache, own *evaluator, prune bool, t
 	if co > 0 && tk.ub < co {
 		// Provably below at least TopK fully evaluated rows — strictly, so
 		// a tie with the cutoff still evaluates and tie order survives.
+		cut.pruned.Add(1)
 		return boundPrunedCandidate(plan, tk.ub)
 	}
 	var deadline float64
@@ -1178,6 +1232,7 @@ func evalBounded(tk *sweepTask, cache *sweepCache, own *evaluator, prune bool, t
 	}
 	es, err := evalKeyBounded(plan, own, prune, t, tk.gk, tk.hk, sr, deadline)
 	if err == nil && es.boundOnly {
+		cut.pruned.Add(1)
 		return boundPrunedCandidate(plan, es.perReplica*float64(plan.D))
 	}
 	cache.publishFull(k, es, err)
@@ -1200,7 +1255,7 @@ func boundPrunedCandidate(plan Plan, bound float64) Candidate {
 // worker pool), only the grid is restricted, so merging every shard of a
 // partition reproduces the single-process ranking bit for bit.
 func AutoTuneShard(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
-	return sweepGrid(cl, model, space, nil)
+	return sweepGrid(cl, model, space, nil, nil)
 }
 
 // MergeShards recombines the grid-order outputs of AutoTuneShard into

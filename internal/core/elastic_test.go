@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// elasticSpace is the session-test grid: small enough to train real
+// engines under every cell, with both PD pairs valid from 6 devices down
+// to 5 (one leave).
+func elasticSpace() SearchSpace {
+	return SearchSpace{
+		PD:        [][2]int{{2, 2}, {4, 1}},
+		Waves:     []int{1, 2},
+		B:         4,
+		MicroRows: 1,
+		Workers:   2,
+		TopK:      2,
+	}
+}
+
+// elasticModel has 16 partitionable units — enough for the deepest stage
+// split the grid can pick (hanayo w2 on P=4: 16 stages).
+func elasticModel() nn.Config { return nn.Tiny(14, 8, 2, 16, 4, true) }
+
+func tensorsEqual(a, b []*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestElasticSessionEventParity is the drain-and-replan acceptance test:
+// a session that absorbs a DeviceLeave between iterations must end with
+// parameters bit-for-bit identical to the manually composed reference —
+// train on plan A, snapshot, re-rank, restore into plan B's engine, train
+// on — because the drain point guarantees the event lands exactly at a
+// flush barrier.
+func TestElasticSessionEventParity(t *testing.T) {
+	model, space, cl0 := elasticModel(), elasticSpace(), cluster.TACC(6)
+	genS := data.NewGenerator(7, model.Vocab, model.SeqLen)
+	genR := data.NewGenerator(7, model.Vocab, model.SeqLen)
+
+	sess, err := NewElasticSession(nil, cl0, model, ElasticOptions{Space: space, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: same cold ranking, same engine, stepped by hand.
+	rt := NewTuner(TunerOptions{})
+	r0, _ := rt.Rerank(nil, cl0, model, space)
+	b0, err := firstFeasible(r0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, err := b0.Plan.Engine(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Plan().Scheme != b0.Plan.Scheme || sess.Plan().P != b0.Plan.P || sess.Plan().D != b0.Plan.D {
+		t.Fatalf("session picked %+v, reference %+v", sess.Plan(), b0.Plan)
+	}
+
+	for i := 0; i < 2; i++ {
+		resS, err := sess.Step(genS.Next(8))
+		if err != nil {
+			t.Fatalf("session step %d: %v", i, err)
+		}
+		resR, err := engA.Step(genR.Next(8))
+		if err != nil {
+			t.Fatalf("reference step %d: %v", i, err)
+		}
+		if resS.Loss != resR.Loss {
+			t.Fatalf("step %d: session loss %v, reference %v", i, resS.Loss, resR.Loss)
+		}
+	}
+
+	ev := cluster.Event{Kind: cluster.DeviceLeave, Dev: 5}
+	sess.Notify(ev)
+
+	cl1, err := cl0.Apply(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := rt.Rerank(r0, cl1, model, space)
+	b1, err := firstFeasible(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := b1.Plan.Engine(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.Restore(engA.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 2; i < 4; i++ {
+		resS, err := sess.Step(genS.Next(8))
+		if err != nil {
+			t.Fatalf("session step %d: %v", i, err)
+		}
+		resR, err := engB.Step(genR.Next(8))
+		if err != nil {
+			t.Fatalf("reference step %d: %v", i, err)
+		}
+		if resS.Loss != resR.Loss {
+			t.Fatalf("step %d: session loss %v, reference %v", i, resS.Loss, resR.Loss)
+		}
+	}
+
+	if !tensorsEqual(sess.Engine().Snapshot(), engB.Snapshot()) {
+		t.Fatal("session parameters diverged from the manually replanned reference")
+	}
+	reps := sess.Reports()
+	if len(reps) != 1 || reps[0].Trigger != "event" || reps[0].Event != ev {
+		t.Fatalf("replan history wrong: %+v", reps)
+	}
+	if reps[0].To.Scheme != b1.Plan.Scheme || reps[0].To.P != b1.Plan.P || reps[0].To.D != b1.Plan.D {
+		t.Fatalf("report says replan moved to %+v, reference picked %+v", reps[0].To, b1.Plan)
+	}
+	if sess.Cluster().N() != 5 {
+		t.Fatalf("session cluster has %d devices after the leave, want 5", sess.Cluster().N())
+	}
+}
+
+// TestElasticSessionFailureRetryParity: a mid-step device failure aborts
+// the iteration without touching weights, replans without the dead
+// device, and retries the same batch — so the session's trajectory equals
+// the reference where that batch was only ever trained on the new plan.
+func TestElasticSessionFailureRetryParity(t *testing.T) {
+	model, space, cl0 := elasticModel(), elasticSpace(), cluster.TACC(6)
+	genS := data.NewGenerator(11, model.Vocab, model.SeqLen)
+	genR := data.NewGenerator(11, model.Vocab, model.SeqLen)
+
+	sess, err := NewElasticSession(nil, cl0, model, ElasticOptions{Space: space, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewTuner(TunerOptions{})
+	r0, _ := rt.Rerank(nil, cl0, model, space)
+	b0, err := firstFeasible(r0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, err := b0.Plan.Engine(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sess.Step(genS.Next(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engA.Step(genR.Next(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill pipeline rank 0 at its first compute op of the next step.
+	sess.FailNext(0, 0)
+	resS, err := sess.Step(genS.Next(8))
+	if err != nil {
+		t.Fatalf("session did not recover from the injected failure: %v", err)
+	}
+
+	ev := cluster.Event{Kind: cluster.DeviceLeave, Dev: 0}
+	cl1, err := cl0.Apply(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := rt.Rerank(r0, cl1, model, space)
+	b1, err := firstFeasible(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := b1.Plan.Engine(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.Restore(engA.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	resR, err := engB.Step(genR.Next(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Loss != resR.Loss {
+		t.Fatalf("retried loss %v, reference %v", resS.Loss, resR.Loss)
+	}
+	if !tensorsEqual(sess.Engine().Snapshot(), engB.Snapshot()) {
+		t.Fatal("post-failure parameters diverged from the reference")
+	}
+	reps := sess.Reports()
+	if len(reps) != 1 || reps[0].Trigger != "failure" || reps[0].Event != ev {
+		t.Fatalf("replan history wrong: %+v", reps)
+	}
+	if reps[0].Elapsed <= 0 {
+		t.Fatalf("report did not time the replan: %+v", reps[0])
+	}
+}

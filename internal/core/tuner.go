@@ -141,7 +141,7 @@ func (t *Tuner) AutoTune(cl *cluster.Cluster, model nn.Config, space SearchSpace
 // shard process publishes its evaluations to the shared remote tier, so
 // the fleet collectively fills a cache any later sweep hits outright.
 func (t *Tuner) AutoTuneShard(cl *cluster.Cluster, model nn.Config, space SearchSpace) []Candidate {
-	return sweepGrid(cl, model, space, t)
+	return sweepGrid(cl, model, space, t, nil)
 }
 
 // checkout blocks until a pooled evaluator is free — the admission control

@@ -380,6 +380,16 @@ func (l *Loop) RunConcurrent(s *sched.Schedule, b Backend, opt Options) ([][]Rec
 		go func(m *machine) {
 			defer wg.Done()
 			for {
+				// Observe cancellation between steps, too: a device that is
+				// compute-bound (never blocks in Recv) must still stand down
+				// promptly when a peer's hook failed, or teardown latency is
+				// bounded by its remaining work instead of one op.
+				select {
+				case <-done:
+					errs <- fmt.Errorf("exec: device %d stopped by teardown: %w", m.dev, ErrCanceled)
+					return
+				default:
+				}
 				ok, err := ex.step(m)
 				if err != nil {
 					errs <- err

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
@@ -58,6 +59,11 @@ var ExtraScheme string
 // file into this. Failed cells surface as FAIL rows with a recovery
 // estimate, not errors.
 var Faults *sim.FaultPlan
+
+// Events, when non-nil, replaces xtr03's default membership-churn stream:
+// cmd/hanayo-bench parses its -events JSON file (cluster.ParseEvents)
+// into this.
+var Events []cluster.Event
 
 func register(name, title string, run func(w io.Writer) error) {
 	registry[name] = Experiment{Name: name, Title: title, Run: run}

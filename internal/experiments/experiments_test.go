@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
-		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "xtr01", "xtr02"}
+		"fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "xtr01", "xtr02", "xtr03"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("have %v want %v", got, want)
@@ -134,6 +134,17 @@ func TestXtr02FaultModel(t *testing.T) {
 	// cluster's pick — the headline claim of the fault model.
 	if !strings.Contains(out, "*") {
 		t.Fatalf("no straggler severity flipped the top-1:\n%s", out)
+	}
+}
+
+func TestXtr03ElasticChurn(t *testing.T) {
+	out := runAndCheck(t, "xtr03", "initial plan:", "warm sims", "cold sims",
+		"leave dev", "join dev", "Warm and cold agree")
+	// Every default event kind must produce a row.
+	for _, marker := range []string{"speed dev", "link dev"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("xtr03 output missing %q:\n%s", marker, out)
+		}
 	}
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+func init() {
+	register("xtr03", "Elastic churn: warm-started replanning vs cold re-sweep", xtr03)
+}
+
+// xtr03 quantifies the elasticity layer's tentpole claim: after a
+// membership event, a warm-started Tuner.Rerank (seeded with the previous
+// ranking) reaches the same exact top-K as a cold AutoTune on the new
+// cluster while issuing fewer simulations and finishing faster. The table
+// folds one event of each kind over an 8-device TACC cluster and reports,
+// per event, both searches' simulation counts and latencies plus the
+// plan each elected — the replanning cost a drain-and-replan recovery
+// actually pays at the flush barrier. Latencies are wall-clock and
+// machine-dependent; the simulation counts and the plan columns are
+// deterministic. A -events JSON stream (cluster.ParseEvents) replaces the
+// default churn.
+func xtr03(w io.Writer) error {
+	model := nn.BERTStyle()
+	cl := cluster.TACC(8)
+	// Explicit PD pairs: the nil-PD default is empty for prime N, and the
+	// churn below visits 7 and 9 devices. Same-P rows keep P·D ≤ 6 so
+	// every cell stays valid over the whole stream (SearchSpace.PD
+	// contract).
+	space := core.SearchSpace{
+		PD:        [][2]int{{2, 2}, {2, 3}, {4, 1}, {8, 1}},
+		Waves:     []int{1, 2, 4},
+		B:         8,
+		MicroRows: 1,
+		Workers:   AutoTuneWorkers,
+		TopK:      3,
+	}
+	evs := Events
+	if evs == nil {
+		evs = []cluster.Event{
+			{Kind: cluster.DeviceLeave, Dev: 3},
+			{Kind: cluster.DeviceJoin, Dev: 2},
+			{Kind: cluster.SpeedChange, Dev: 0, Factor: 0.5},
+			{Kind: cluster.LinkChange, Dev: 1, Peer: 2, Factor: 0.25},
+		}
+	}
+
+	tuner := core.NewTuner(core.TunerOptions{})
+	prev := tuner.AutoTune(cl, model, space)
+	best, ok := core.Best(prev)
+	if !ok {
+		return fmt.Errorf("xtr03: no feasible configuration on the initial cluster")
+	}
+	fmt.Fprintf(w, "\nTACC × BERT-style, starting at 8 devices, B=8, exact top-%d\n", space.TopK)
+	fmt.Fprintf(w, "initial plan: %s P=%d D=%d (%.3f seq/s)\n\n",
+		displayName(best.Plan.Scheme), best.Plan.P, best.Plan.D, best.Throughput)
+	fmt.Fprintf(w, "%-22s %3s  %10s %10s %10s %7s  %10s %10s  %-18s\n",
+		"event", "N", "warm sims", "cold sims", "full sims", "pruned", "warm", "full", "new best")
+
+	for _, ev := range evs {
+		next, err := cl.Apply(ev)
+		if err != nil {
+			return fmt.Errorf("xtr03: %s: %w", ev, err)
+		}
+
+		// Two cold baselines, both from fresh tuners: the same top-K
+		// bound-and-prune search started blind, and the exhaustive full
+		// re-sweep a deployment without any pruning would re-run.
+		before := core.SimRuns()
+		cold := core.NewTuner(core.TunerOptions{}).AutoTune(next, model, space)
+		coldSims := core.SimRuns() - before
+
+		exhaustive := space
+		exhaustive.TopK = 0
+		before = core.SimRuns()
+		t0 := time.Now()
+		core.NewTuner(core.TunerOptions{}).AutoTune(next, model, exhaustive)
+		fullDur := time.Since(t0)
+		fullSims := core.SimRuns() - before
+
+		t0 = time.Now()
+		warm, stats := tuner.Rerank(prev, next, model, space)
+		warmDur := time.Since(t0)
+
+		wb, ok := core.Best(warm)
+		if !ok {
+			return fmt.Errorf("xtr03: no feasible configuration after %s", ev)
+		}
+		if cb, ok := core.Best(cold); !ok || cb.Plan.Scheme != wb.Plan.Scheme ||
+			cb.Plan.P != wb.Plan.P || cb.Plan.D != wb.Plan.D {
+			return fmt.Errorf("xtr03: warm and cold searches disagree after %s", ev)
+		}
+		changed := ""
+		if wb.Plan.Scheme != best.Plan.Scheme || wb.Plan.P != best.Plan.P || wb.Plan.D != best.Plan.D {
+			changed = " *"
+		}
+		fmt.Fprintf(w, "%-22s %3d  %10d %10d %10d %7d  %10s %10s  %s P=%d D=%d%s\n",
+			ev, next.N(), stats.SeedSims+stats.SweepSims, coldSims, fullSims, stats.Pruned,
+			warmDur.Round(time.Millisecond), fullDur.Round(time.Millisecond),
+			displayName(wb.Plan.Scheme), wb.Plan.P, wb.Plan.D, changed)
+
+		cl, prev, best = next, warm, wb
+	}
+	fmt.Fprintln(w, "\n*: the event moved the optimum — the drain-and-replan loop rebuilds the")
+	fmt.Fprintln(w, "   engine on the new plan and restores weights from the drained snapshot.")
+	fmt.Fprintln(w, "Warm and cold agree on the exact top ranks by construction (seeded cutoff")
+	fmt.Fprintln(w, "never exceeds the true Kth-best value; both prune paths are strict).")
+	return nil
+}

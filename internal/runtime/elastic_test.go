@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+func mustSched(t *testing.T, name string, p, b int) *sched.Schedule {
+	t.Helper()
+	s, err := sched.ByName(name, p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustEngine(t *testing.T, s *sched.Schedule, cfg nn.Config, seed uint64) *Engine {
+	t.Helper()
+	eng, err := New(Config{Schedule: s, Model: cfg, DP: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func snapshotsEqual(a, b []*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestInjectFailureAbortsCleanly: an injected device failure surfaces as a
+// typed DeviceError, leaves parameters bit-for-bit untouched, and after
+// AbortReset the engine retries the same batch with results identical to
+// an engine that never failed.
+func TestInjectFailureAbortsCleanly(t *testing.T) {
+	cfg := tinyCfg()
+	batch := data.NewGenerator(7, cfg.Vocab, cfg.SeqLen).Next(4)
+
+	eng := mustEngine(t, mustSched(t, "gpipe", 2, 4), cfg, 42)
+	pre := eng.Snapshot()
+	eng.InjectFailure(1, 0)
+	_, err := eng.Step(batch)
+	if err == nil {
+		t.Fatal("injected failure did not fail the step")
+	}
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("step error %v is not ErrDeviceFailed", err)
+	}
+	var de *DeviceError
+	if !errors.As(err, &de) || de.Dev != 1 || de.Micro != 0 {
+		t.Fatalf("step error %v does not carry the injected (dev 1, micro 0)", err)
+	}
+	if !snapshotsEqual(pre, eng.Snapshot()) {
+		t.Fatal("failed step modified parameters")
+	}
+
+	eng.AbortReset()
+	got, err := eng.Step(batch)
+	if err != nil {
+		t.Fatalf("retry after AbortReset: %v", err)
+	}
+
+	clean := mustEngine(t, mustSched(t, "gpipe", 2, 4), cfg, 42)
+	want, err := clean.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != want.Loss {
+		t.Fatalf("retried loss %v differs from clean engine's %v", got.Loss, want.Loss)
+	}
+	if !snapshotsEqual(eng.Snapshot(), clean.Snapshot()) {
+		t.Fatal("retried step diverged from an engine that never failed")
+	}
+}
+
+// TestSnapshotRestoreAcrossSplit: a snapshot taken from one stage split
+// restores bit-for-bit into an engine split differently (Split assigns
+// contiguous unit ranges, so stage order is unit order), and one training
+// step on each then lands on identical parameters — the drain-and-replan
+// weight carry in miniature.
+func TestSnapshotRestoreAcrossSplit(t *testing.T) {
+	cfg := tinyCfg()
+	engA := mustEngine(t, mustSched(t, "gpipe", 2, 4), cfg, 42)
+	engB := mustEngine(t, mustSched(t, "hanayo-w2", 2, 4), cfg, 99) // different split AND different init
+	if err := engB.Restore(engA.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(engA.Snapshot(), engB.Snapshot()) {
+		t.Fatal("restore across stage splits did not reproduce the snapshot")
+	}
+	batch := data.NewGenerator(7, cfg.Vocab, cfg.SeqLen).Next(4)
+	if _, err := engA.Step(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engB.Step(batch); err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(engA.Snapshot(), engB.Snapshot()) {
+		t.Fatal("identical weights + identical batch diverged across stage splits")
+	}
+}
+
+// TestRestoreCoversChimeraCopies: restoring into a two-copy (Chimera)
+// engine must overwrite both weight copies, or the up pipe trains on
+// stale weights after a replan.
+func TestRestoreCoversChimeraCopies(t *testing.T) {
+	cfg := tinyCfg()
+	src := mustEngine(t, mustSched(t, "gpipe", 2, 4), cfg, 42)
+	dst := mustEngine(t, mustSched(t, "chimera", 2, 4), cfg, 99)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := src.Snapshot()
+	for c := 0; c < 2; c++ {
+		var got []*tensor.Tensor
+		for _, st := range dst.replicas[0].stageInst[c] {
+			for _, p := range st.Params() {
+				got = append(got, p.W)
+			}
+		}
+		if !snapshotsEqual(want, got) {
+			t.Fatalf("copy %d not restored", c)
+		}
+	}
+}
+
+// TestRestoreRejectsWrongModel: a snapshot from a different model
+// configuration must be refused, not silently truncated.
+func TestRestoreRejectsWrongModel(t *testing.T) {
+	src := mustEngine(t, mustSched(t, "gpipe", 2, 4), tinyCfg(), 42)
+	dst := mustEngine(t, mustSched(t, "gpipe", 2, 4), nn.Tiny(6, 16, 2, 12, 6, true), 42)
+	if err := dst.Restore(src.Snapshot()); err == nil {
+		t.Fatal("restore accepted a snapshot from a different model")
+	}
+}

@@ -53,6 +53,7 @@ type Engine struct {
 	sch      *sched.Schedule
 	replicas []*replica
 	copies   int // weight copies per replica (1, or 2 for Chimera)
+	fail     failures
 }
 
 // New validates the configuration and builds the engine. The real runtime
@@ -360,6 +361,9 @@ func (b *rtBackend) SetDone(done <-chan struct{}) { b.done = done }
 func (b *rtBackend) Compute(d int, a sched.Action) (float64, float64, error) {
 	w := b.workers[d]
 	start := time.Since(b.t0).Seconds()
+	if w.eng.takeFailure(d, a.Micro) {
+		return start, start, &DeviceError{Dev: d, Micro: a.Micro}
+	}
 	var err error
 	switch a.Kind {
 	case sched.OpForward:

@@ -6,10 +6,13 @@ package sim
 // every op starting at or after their timestamp; a Fail event kills its
 // device, aborting the walk through the same sentinel-error path as the
 // deadline cap and marking the run infeasible with a recovery-makespan
-// estimate instead of panicking. The hot path scans the event list per op
-// — a handful of comparisons, no allocation — so Runner.Run stays at 0
-// allocs/op steady state with a non-empty plan (pinned alongside the
-// existing AllocsPerRun regression test).
+// estimate instead of panicking. Runner.run compiles the plan once per
+// run into per-device/per-link sorted timelines (faultTimelines below):
+// the hot path answers each query with a binary search over cumulative
+// factor products instead of rescanning the event list, and the compiled
+// arenas grow monotonically, so Runner.Run stays at 0 allocs/op steady
+// state with a non-empty plan (pinned by the AllocsPerRun regression
+// tests).
 //
 // Degradation factors are restricted to (0, 1]: faults may only slow a
 // device or a link, never speed one up. That single restriction is what
@@ -24,6 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"repro/internal/exec"
 )
 
 // FaultKind discriminates FaultEvent variants.
@@ -129,7 +134,13 @@ type FaultPlan struct {
 // (0, 1]. The factor ceiling is load-bearing, not cosmetic — a factor
 // above 1 would speed the simulation past the analytic lower bound and
 // silently break the bound-and-prune sweep's exactness proof.
-func (p *FaultPlan) Validate(devs int) error {
+func (p *FaultPlan) Validate(devs int) error { return p.validate(devs) }
+
+// validate is Validate with devs < 0 meaning "device count unknown":
+// everything device-count-independent (timestamps, factors, negative
+// indices, kinds) is still checked, which is what lets ParseFaultPlan
+// reject malformed values at decode time, before any pipeline exists.
+func (p *FaultPlan) validate(devs int) error {
 	if p == nil {
 		return nil
 	}
@@ -141,7 +152,7 @@ func (p *FaultPlan) Validate(devs int) error {
 		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
 			return fmt.Errorf("sim: fault event %d: timestamp must be a non-negative finite number, got %g", i, e.At)
 		}
-		if e.Dev < 0 || e.Dev >= devs {
+		if e.Dev < 0 || (devs >= 0 && e.Dev >= devs) {
 			return fmt.Errorf("sim: fault event %d: device %d out of range [0,%d)", i, e.Dev, devs)
 		}
 		switch e.Kind {
@@ -150,8 +161,8 @@ func (p *FaultPlan) Validate(devs int) error {
 				return fmt.Errorf("sim: fault event %d: factor must be in (0,1], got %g", i, e.Factor)
 			}
 			if e.Kind == FaultLinkDegrade {
-				if e.Peer < 0 || e.Peer >= devs || e.Peer == e.Dev {
-					return fmt.Errorf("sim: fault event %d: link (%d,%d) invalid for %d devices", i, e.Dev, e.Peer, devs)
+				if e.Peer < 0 || (devs >= 0 && e.Peer >= devs) || e.Peer == e.Dev {
+					return fmt.Errorf("sim: fault event %d: link (%d,%d) invalid", i, e.Dev, e.Peer)
 				}
 			}
 		case FaultFail:
@@ -200,7 +211,13 @@ func (p *FaultPlan) Fingerprint() uint64 {
 //	            {"kind": "linkdegrade", "dev": 0, "peer": 1, "at": 1.0, "factor": 0.25},
 //	            {"kind": "fail", "dev": 2, "at": 3.5}]}
 //
-// Unknown fields are rejected so a typo degrades loudly, not silently.
+// Unknown fields are rejected so a typo degrades loudly, not silently —
+// and so are malformed values (negative or non-finite timestamps,
+// factors outside (0,1], negative device indices, a link to itself):
+// everything checkable without knowing the pipeline's device count is
+// checked here, at the trust boundary, rather than deferred to the first
+// RunFaults. Device ranges are still validated per run against the
+// actual pipeline shape.
 func ParseFaultPlan(data []byte) (*FaultPlan, error) {
 	var p FaultPlan
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -208,45 +225,159 @@ func ParseFaultPlan(data []byte) (*FaultPlan, error) {
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("sim: fault plan: %w", err)
 	}
+	if err := p.validate(-1); err != nil {
+		return nil, err
+	}
 	return &p, nil
 }
 
+// faultTimelines is a FaultPlan compiled for one run's pipeline shape:
+// per-device and per-directed-link event timelines sorted by timestamp,
+// with cumulative factor products precomputed, plus each device's
+// earliest Fail timestamp. Compiling once per run turns the hot-path
+// queries from O(total events) scans into O(log bucket) binary searches,
+// and every slice is an exec.Arena that grows monotonically, so repeated
+// runs stay at 0 allocs/op (pinned by the AllocsPerRun regression tests).
+//
+// The layout is CSR: devOff[d]..devOff[d+1] frames device d's slowdown
+// entries in devTs (timestamps, ascending) and devCum (the compound
+// factor in effect from that timestamp on). Links use the directed index
+// src*P+dst — each undirected LinkDegrade lands in both directions'
+// buckets — framed by linkOff the same way.
+type faultTimelines struct {
+	devOff  []int
+	devTs   []float64
+	devCum  []float64
+	linkOff []int
+	linkTs  []float64
+	linkCum []float64
+	fail    []float64 // earliest Fail per device, +Inf when it never dies
+	cur     []int     // CSR fill cursors, reused scratch
+}
+
+// compile rebuilds the timelines for plan p on a devs-device pipeline.
+// Two passes over the event list: count bucket sizes, then insertion-sort
+// each event into its bucket (buckets are tiny — a plan holds a handful
+// of events — so quadratic placement beats sort.Sort's interface calls
+// and stays allocation-free). Raw factors are then folded into running
+// products so a query reads one slot.
+func (ft *faultTimelines) compile(p *FaultPlan, devs int) {
+	nd := devs
+	ft.devOff = exec.Arena(ft.devOff, nd+1)
+	ft.linkOff = exec.Arena(ft.linkOff, nd*nd+1)
+	ft.fail = exec.Arena(ft.fail, nd)
+	for d := range ft.fail {
+		ft.fail[d] = math.Inf(1)
+	}
+	nSlow, nLink := 0, 0
+	for i := range p.Events {
+		e := &p.Events[i]
+		switch e.Kind {
+		case FaultSlowDown:
+			ft.devOff[e.Dev+1]++
+			nSlow++
+		case FaultLinkDegrade:
+			ft.linkOff[e.Dev*nd+e.Peer+1]++
+			ft.linkOff[e.Peer*nd+e.Dev+1]++
+			nLink += 2
+		case FaultFail:
+			if e.At < ft.fail[e.Dev] {
+				ft.fail[e.Dev] = e.At
+			}
+		}
+	}
+	for i := 1; i <= nd; i++ {
+		ft.devOff[i] += ft.devOff[i-1]
+	}
+	for i := 1; i <= nd*nd; i++ {
+		ft.linkOff[i] += ft.linkOff[i-1]
+	}
+	ft.devTs = exec.Arena(ft.devTs, nSlow)
+	ft.devCum = exec.Arena(ft.devCum, nSlow)
+	ft.linkTs = exec.Arena(ft.linkTs, nLink)
+	ft.linkCum = exec.Arena(ft.linkCum, nLink)
+	// One scratch arena serves both cursor sets — the index spaces are
+	// disjoint slices of it.
+	ft.cur = exec.Arena(ft.cur, nd+nd*nd)
+	devCur := ft.cur[:nd]
+	linkCur := ft.cur[nd:]
+	copy(devCur, ft.devOff[:nd])
+	copy(linkCur, ft.linkOff[:nd*nd])
+	for i := range p.Events {
+		e := &p.Events[i]
+		switch e.Kind {
+		case FaultSlowDown:
+			insertTimed(ft.devTs, ft.devCum, ft.devOff[e.Dev], devCur[e.Dev], e.At, e.Factor)
+			devCur[e.Dev]++
+		case FaultLinkDegrade:
+			fwd, rev := e.Dev*nd+e.Peer, e.Peer*nd+e.Dev
+			insertTimed(ft.linkTs, ft.linkCum, ft.linkOff[fwd], linkCur[fwd], e.At, e.Factor)
+			linkCur[fwd]++
+			insertTimed(ft.linkTs, ft.linkCum, ft.linkOff[rev], linkCur[rev], e.At, e.Factor)
+			linkCur[rev]++
+		}
+	}
+	for d := 0; d < nd; d++ {
+		cumulate(ft.devCum, ft.devOff[d], ft.devOff[d+1])
+	}
+	for l := 0; l < nd*nd; l++ {
+		cumulate(ft.linkCum, ft.linkOff[l], ft.linkOff[l+1])
+	}
+}
+
+// insertTimed places (t, f) into the sorted bucket prefix [lo, k),
+// shifting later entries right — insertion sort, one element at a time.
+// Equal timestamps keep arrival order; factors multiply commutatively, so
+// the cumulative products any query can observe are order-independent.
+func insertTimed(at, cum []float64, lo, k int, t, f float64) {
+	j := k
+	for j > lo && at[j-1] > t {
+		at[j] = at[j-1]
+		cum[j] = cum[j-1]
+		j--
+	}
+	at[j] = t
+	cum[j] = f
+}
+
+// cumulate folds a bucket's raw factors into running products in place.
+func cumulate(cum []float64, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		cum[i] *= cum[i-1]
+	}
+}
+
+// factorAt returns the compound factor in effect at time t for the
+// bucket [lo, hi): the cumulative product of the last entry with at ≤ t,
+// or 1.0 when none has taken effect. Hand-rolled binary search — the
+// sort.Search closure is an allocation the 0 allocs/op budget forbids.
+func factorAt(at, cum []float64, lo, hi int, t float64) float64 {
+	if lo == hi || at[lo] > t {
+		return 1.0
+	}
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if at[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return cum[lo]
+}
+
 // speedAt returns the compound slowdown factor on device d for an op
-// starting at virtual time t: the product of every SlowDown event on d
-// whose timestamp has passed. O(events), allocation-free.
-func (p *FaultPlan) speedAt(d int, t float64) float64 {
-	f := 1.0
-	for i := range p.Events {
-		e := &p.Events[i]
-		if e.Kind == FaultSlowDown && e.Dev == d && e.At <= t {
-			f *= e.Factor
-		}
-	}
-	return f
+// starting at virtual time t.
+func (ft *faultTimelines) speedAt(d int, t float64) float64 {
+	return factorAt(ft.devTs, ft.devCum, ft.devOff[d], ft.devOff[d+1], t)
 }
 
-// linkAt returns the compound degradation factor of the undirected i↔j
-// link for a transfer starting at virtual time t.
-func (p *FaultPlan) linkAt(i, j int, t float64) float64 {
-	f := 1.0
-	for k := range p.Events {
-		e := &p.Events[k]
-		if e.Kind == FaultLinkDegrade && e.At <= t &&
-			((e.Dev == i && e.Peer == j) || (e.Dev == j && e.Peer == i)) {
-			f *= e.Factor
-		}
-	}
-	return f
+// linkAt returns the compound degradation factor of directed link index
+// link (src*P+dst) for a transfer starting at virtual time t.
+func (ft *faultTimelines) linkAt(link int, t float64) float64 {
+	return factorAt(ft.linkTs, ft.linkCum, ft.linkOff[link], ft.linkOff[link+1], t)
 }
 
-// failAt returns the earliest Fail timestamp for device d, if any.
-func (p *FaultPlan) failAt(d int) (float64, bool) {
-	at, ok := 0.0, false
-	for i := range p.Events {
-		e := &p.Events[i]
-		if e.Kind == FaultFail && e.Dev == d && (!ok || e.At < at) {
-			at, ok = e.At, true
-		}
-	}
-	return at, ok
-}
+// failTime returns device d's earliest Fail timestamp, +Inf when the
+// device never fails — callers compare with < and need no ok flag.
+func (ft *faultTimelines) failTime(d int) float64 { return ft.fail[d] }

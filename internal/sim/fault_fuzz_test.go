@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refSpeedAt / refLinkAt / refFailAt are the pre-compilation reference
+// semantics — a full scan of the event list per query. The compiled
+// timelines must agree bit for bit on every (device, link, time) the
+// simulator could ask about; keeping the scans here as oracles is what
+// lets the property test below pin the CSR compile + binary search
+// against the behavior every fault test was written for.
+func refSpeedAt(p *FaultPlan, d int, t float64) float64 {
+	f := 1.0
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Kind == FaultSlowDown && e.Dev == d && e.At <= t {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+func refLinkAt(p *FaultPlan, i, j int, t float64) float64 {
+	f := 1.0
+	for k := range p.Events {
+		e := &p.Events[k]
+		if e.Kind == FaultLinkDegrade && e.At <= t &&
+			((e.Dev == i && e.Peer == j) || (e.Dev == j && e.Peer == i)) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+func refFailAt(p *FaultPlan, d int) float64 {
+	at := math.Inf(1)
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Kind == FaultFail && e.Dev == d && e.At < at {
+			at = e.At
+		}
+	}
+	return at
+}
+
+// TestFaultTimelinesMatchScan: for random plans (duplicate devices,
+// shared timestamps, out-of-order arrival), the compiled timelines answer
+// every query exactly like the reference scan. Factors here are powers of
+// 0.5 so compound products compare exactly — float multiplication is not
+// associative in general, but the compile folds factors in bucket order
+// and the scan folds in list order; exact representability sidesteps
+// ordering noise the simulator itself never depends on (any single
+// timestamp's compound set is multiplied in arrival order by both).
+func TestFaultTimelinesMatchScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const devs = 4
+		n := rng.Intn(12)
+		p := &FaultPlan{}
+		for i := 0; i < n; i++ {
+			dev := rng.Intn(devs)
+			at := float64(rng.Intn(8)) / 2 // shared timestamps on purpose
+			factor := math.Pow(0.5, float64(1+rng.Intn(3)))
+			switch rng.Intn(3) {
+			case 0:
+				p.Events = append(p.Events, SlowDown(dev, factor, at))
+			case 1:
+				peer := (dev + 1 + rng.Intn(devs-1)) % devs
+				p.Events = append(p.Events, LinkDegrade(dev, peer, factor, at))
+			default:
+				p.Events = append(p.Events, Fail(dev, at))
+			}
+		}
+		var ft faultTimelines
+		ft.compile(p, devs)
+		for d := 0; d < devs; d++ {
+			if ft.failTime(d) != refFailAt(p, d) {
+				return false
+			}
+			for _, q := range []float64{-1, 0, 0.25, 1, 2.5, 3, 10} {
+				if ft.speedAt(d, q) != refSpeedAt(p, d, q) {
+					return false
+				}
+				for j := 0; j < devs; j++ {
+					if j == d {
+						continue
+					}
+					if ft.linkAt(d*devs+j, q) != refLinkAt(p, d, j, q) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultTimelinesReuse: recompiling a smaller plan over a Runner's
+// grown arenas must not leak the previous plan's events into the new
+// timelines (the Arena zero-fill is load-bearing).
+func TestFaultTimelinesReuse(t *testing.T) {
+	var ft faultTimelines
+	big := &FaultPlan{Events: []FaultEvent{
+		SlowDown(0, 0.5, 0), SlowDown(1, 0.5, 1), LinkDegrade(0, 1, 0.25, 0), Fail(2, 3),
+	}}
+	ft.compile(big, 4)
+	small := &FaultPlan{Events: []FaultEvent{SlowDown(3, 0.5, 2)}}
+	ft.compile(small, 4)
+	if got := ft.speedAt(0, 10); got != 1.0 {
+		t.Fatalf("stale slowdown survived recompile: %g", got)
+	}
+	if got := ft.linkAt(0*4+1, 10); got != 1.0 {
+		t.Fatalf("stale link degrade survived recompile: %g", got)
+	}
+	if !math.IsInf(ft.failTime(2), 1) {
+		t.Fatalf("stale failure survived recompile: %g", ft.failTime(2))
+	}
+	if got := ft.speedAt(3, 2); got != 0.5 {
+		t.Fatalf("new plan not applied: %g", got)
+	}
+}
+
+// FuzzParseFaultPlan: whatever bytes arrive, ParseFaultPlan must either
+// reject or return a plan whose shape re-validates — it can never accept
+// malformed JSON, NaN/Inf/negative timestamps, out-of-(0,1] factors or
+// unknown kinds. Accepted plans must survive a JSON round trip.
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add([]byte(`{"events": [{"kind": "slowdown", "dev": 0, "at": 0, "factor": 0.5}]}`))
+	f.Add([]byte(`{"restart_cost": 5, "events": [{"kind": "fail", "dev": 2, "at": 3.5}]}`))
+	f.Add([]byte(`{"events": [{"kind": "linkdegrade", "dev": 0, "peer": 1, "at": 1, "factor": 0.25}]}`))
+	f.Add([]byte(`{"events": [{"kind": "fail", "dev": 1, "at": -4}]}`))
+	f.Add([]byte(`{"events": [{"kind": "slowdown", "dev": 0, "at": 1e999, "factor": 0.5}]}`))
+	f.Add([]byte(`{"events": [{"kind": "warp", "dev": 0, "at": 0}]}`))
+	f.Add([]byte(`{"events": [`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseFaultPlan(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the shape invariants must actually hold.
+		if err := p.validate(-1); err != nil {
+			t.Fatalf("accepted plan fails validation: %v\ninput: %q", err, data)
+		}
+		for i := range p.Events {
+			e := &p.Events[i]
+			if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
+				t.Fatalf("accepted bad timestamp %g: %q", e.At, data)
+			}
+			if (e.Kind == FaultSlowDown || e.Kind == FaultLinkDegrade) && !(e.Factor > 0 && e.Factor <= 1) {
+				t.Fatalf("accepted bad factor %g: %q", e.Factor, data)
+			}
+		}
+		// And the accepted plan must round-trip through its own encoding.
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not marshal: %v", err)
+		}
+		back, err := ParseFaultPlan(raw)
+		if err != nil {
+			t.Fatalf("re-parse of accepted plan failed: %v\n%s", err, raw)
+		}
+		if len(back.Events) != len(p.Events) || back.RestartCost != p.RestartCost {
+			t.Fatalf("round trip changed the plan: %+v vs %+v", back, p)
+		}
+	})
+}

@@ -150,8 +150,9 @@ func TestFailMidScheduleDeterministic(t *testing.T) {
 
 // TestRunFaultsAllocsPinned extends the simulator's allocation guard to
 // the fault path: a non-empty FaultPlan (all three event kinds) must keep
-// Runner.Run at ~0 allocs/op steady state — the event list is scanned in
-// place, never copied or boxed.
+// Runner.Run at ~0 allocs/op steady state — the per-run timeline
+// compilation reuses monotonically grown arenas, never allocating once
+// the Runner has seen the shape.
 func TestRunFaultsAllocsPinned(t *testing.T) {
 	s, err := sched.Hanayo(8, 2, 8)
 	if err != nil {

@@ -181,9 +181,12 @@ type backend struct {
 	// so throughput ties with a pruning cutoff are never lost).
 	deadline float64
 	// faults, when non-nil, perturbs op durations at virtual timestamps
-	// and aborts the walk on a device failure; failedDev/failTime record
-	// the triggering Fail event for the run's verdict.
+	// and aborts the walk on a device failure; ft is the plan compiled
+	// into per-device/per-link timelines for this run's shape (the hot
+	// path queries only ft), and failedDev/failTime record the triggering
+	// Fail event for the run's verdict.
 	faults    *FaultPlan
+	ft        faultTimelines
 	failedDev int
 	failTime  float64
 
@@ -251,7 +254,7 @@ func (b *backend) resolveSend(tr *transfer) {
 	if b.faults != nil {
 		// A transfer starting at or after a LinkDegrade runs at the
 		// degraded rate; factors are in (0,1] so this only lengthens it.
-		if f := b.faults.linkAt(tr.link/p, tr.link%p, start); f != 1 {
+		if f := b.ft.linkAt(tr.link, start); f != 1 {
 			dur /= f
 		}
 	}
@@ -311,7 +314,7 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 	if b.faults != nil {
 		// An op starting at or after a SlowDown runs at the degraded
 		// speed (factors compose; all are in (0,1], so dur only grows).
-		if f := b.faults.speedAt(d, start); f != 1 {
+		if f := b.ft.speedAt(d, start); f != 1 {
 			dur /= f
 		}
 	}
@@ -335,7 +338,7 @@ func (b *backend) Compute(d int, a sched.Action) (float64, float64, error) {
 		// completes (strictly: one ending exactly at the timestamp does).
 		// Checked before the deadline so a doomed run reports the
 		// deterministic failure verdict, not a cap-dependent bound.
-		if at, dead := b.faults.failAt(d); dead && at < end {
+		if at := b.ft.failTime(d); at < end {
 			b.failedDev, b.failTime = d, at
 			return start, end, errFailed
 		}
@@ -443,7 +446,7 @@ func (b *backend) Flush(d int, a sched.Action) error {
 		// Compute's — the device fails if it dies strictly before the
 		// flush would complete. (Slowdowns do not scale the flush — it
 		// models a collective, not device compute.)
-		if at, dead := b.faults.failAt(d); dead && at < b.time[d] {
+		if at := b.ft.failTime(d); at < b.time[d] {
 			b.failedDev, b.failTime = d, at
 			return errFailed
 		}
@@ -491,8 +494,10 @@ func (r *Runner) Run(s *sched.Schedule, cost Cost, opt Options) (*Result, error)
 // on, and a Fail event aborts the walk with Result.Failed set — the run
 // is infeasible on the faulty cluster and Result.Recovery estimates the
 // restart-from-checkpoint makespan. A nil plan is bit-for-bit Run. The
-// fault path allocates nothing in steady state (the event list is scanned
-// in place), pinned by the same AllocsPerRun regression suite as Run.
+// plan is compiled once per run into per-device/per-link timelines, and
+// the compiled arenas grow monotonically, so the fault path allocates
+// nothing in steady state — pinned by the same AllocsPerRun regression
+// suite as Run.
 func (r *Runner) RunFaults(s *sched.Schedule, cost Cost, opt Options, plan *FaultPlan) (*Result, error) {
 	if err := plan.Validate(s.P); err != nil {
 		return nil, err
@@ -555,6 +560,9 @@ func (r *Runner) run(s *sched.Schedule, cost Cost, opt Options, deadline float64
 	be.faults = faults
 	if faults != nil && len(faults.Events) == 0 && faults.RestartCost == 0 {
 		be.faults = nil // empty plan: keep the fault-free hot path branch-free
+	}
+	if be.faults != nil {
+		be.ft.compile(be.faults, p)
 	}
 	be.transfers = exec.Arena(be.transfers, 2*s.B*s.S)
 	be.linkFree = exec.Arena(be.linkFree, p*p)
